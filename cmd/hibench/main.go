@@ -1,0 +1,242 @@
+// Command hibench runs the native performance experiments and prints their
+// tables:
+//
+//	E10 — SWSR register algorithms: write/read latency vs K, and reader
+//	      retry behaviour under a write storm (lock-free Algorithm 2 vs
+//	      wait-free Algorithm 4).
+//	E11 — universal construction scaling: throughput vs goroutine count for
+//	      the HI universal construction against the leaky ablation, a
+//	      mutex-guarded object and a bare CAS loop.
+//	E12 — the cost of history independence: ns/op of the full construction
+//	      vs the non-clearing ablation across operation mixes.
+//
+// Absolute numbers depend on the machine; the paper makes no quantitative
+// claims, so the interesting output is the relative shape (see
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	hibench [-exp E10,E11,E12|all] [-ops N] [-procs list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/workload"
+)
+
+var (
+	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12 or 'all'")
+	opsFlag   = flag.Int("ops", 200000, "operations per measurement")
+	procsFlag = flag.String("procs", "1,2,4,8", "goroutine counts for E11")
+)
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.ToUpper(strings.TrimSpace(e))] = true
+	}
+	all := want["ALL"]
+	if all || want["E10"] {
+		runE10()
+	}
+	if all || want["E11"] {
+		runE11()
+	}
+	if all || want["E12"] {
+		runE12()
+	}
+}
+
+func runE10() {
+	fmt.Println("=== E10: SWSR register algorithms (native, single writer + single reader)")
+	fmt.Printf("%6s %12s %12s %12s %12s %12s\n", "K", "alg1 wr", "alg2 wr", "alg4 wr", "alg2 rd", "alg4 rd")
+	for _, k := range []int{4, 16, 64, 256} {
+		n := *opsFlag
+		g := workload.NewGen(1)
+		writes := g.RegisterWrites(n, k)
+
+		r1 := conc.NewAlg1Register(k, 1)
+		t1 := timeIt(func() {
+			for _, op := range writes {
+				r1.Write(op.Arg)
+			}
+		})
+		r2 := conc.NewAlg2Register(k, 1)
+		t2 := timeIt(func() {
+			for _, op := range writes {
+				r2.Write(op.Arg)
+			}
+		})
+		r4 := conc.NewAlg4Register(k, 1)
+		t4 := timeIt(func() {
+			for _, op := range writes {
+				r4.Write(op.Arg)
+			}
+		})
+		t2r := timeIt(func() {
+			for i := 0; i < n; i++ {
+				r2.Read()
+			}
+		})
+		t4r := timeIt(func() {
+			for i := 0; i < n; i++ {
+				r4.Read()
+			}
+		})
+		fmt.Printf("%6d %12s %12s %12s %12s %12s\n", k,
+			perOp(t1, n), perOp(t2, n), perOp(t4, n), perOp(t2r, n), perOp(t4r, n))
+	}
+
+	fmt.Println("\n    reader under a write storm (K=64):")
+	fmt.Printf("%12s %14s %14s\n", "impl", "reads/sec", "retries/read")
+	for _, impl := range []string{"alg2", "alg4"} {
+		reads, retries := writeStorm(impl, 64, 200*time.Millisecond)
+		fmt.Printf("%12s %14.0f %14.4f\n", impl, reads, retries)
+	}
+	fmt.Println("    (Algorithm 2's reader retries and can starve; Algorithm 4's reader")
+	fmt.Println("     is helped by the writer and never retries more than twice)")
+	fmt.Println()
+}
+
+// writeStorm hammers the register with writes while the reader reads for
+// the given duration; it returns reads/second and mean retries per read.
+func writeStorm(impl string, k int, d time.Duration) (readsPerSec, meanRetries float64) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var r2 *conc.Alg2Register
+	var r4 *conc.Alg4Register
+	if impl == "alg2" {
+		r2 = conc.NewAlg2Register(k, 1)
+	} else {
+		r4 = conc.NewAlg4Register(k, 1)
+	}
+	wg.Add(1)
+	go func() { // writer storm
+		defer wg.Done()
+		v := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v = v%k + 1
+			if r2 != nil {
+				r2.Write(v)
+			} else {
+				r4.Write(v)
+			}
+		}
+	}()
+	reads, retries := 0, 0
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if r2 != nil {
+			_, rt := r2.Read()
+			retries += rt
+		} else {
+			r4.Read()
+		}
+		reads++
+	}
+	close(stop)
+	wg.Wait()
+	return float64(reads) / d.Seconds(), float64(retries) / float64(reads)
+}
+
+func runE11() {
+	fmt.Println("=== E11: universal construction scaling (counter, 80% updates)")
+	var procs []int
+	for _, s := range strings.Split(*procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Println("bad -procs:", err)
+			return
+		}
+		procs = append(procs, p)
+	}
+	fmt.Printf("%6s %14s %14s %14s %14s\n", "procs", "universal-hi", "leaky", "mutex", "cas-nohelp")
+	for _, n := range procs {
+		row := make([]string, 0, 4)
+		for _, mk := range []func() conc.Applier{
+			func() conc.Applier { return conc.NewUniversal(conc.CounterObj{}, n) },
+			func() conc.Applier { return conc.NewLeakyUniversal(conc.CounterObj{}, n) },
+			func() conc.Applier { return conc.NewMutexObject(conc.CounterObj{}) },
+			func() conc.Applier { return conc.NewNoHelpUniversal(conc.CounterObj{}) },
+		} {
+			a := mk()
+			opsPer := *opsFlag / n
+			elapsed := timeIt(func() {
+				var wg sync.WaitGroup
+				for pid := 0; pid < n; pid++ {
+					wg.Add(1)
+					go func(pid int) {
+						defer wg.Done()
+						ops := workload.NewGen(int64(pid)).CounterMix(opsPer, 0.2)
+						for _, op := range ops {
+							a.Apply(pid, op)
+						}
+					}(pid)
+				}
+				wg.Wait()
+			})
+			row = append(row, perOp(elapsed, opsPer*n))
+		}
+		fmt.Printf("%6d %14s %14s %14s %14s\n", n, row[0], row[1], row[2], row[3])
+	}
+	fmt.Println("    (ns/op; universal-hi pays a constant factor over leaky for clearing,")
+	fmt.Println("     and over cas-nohelp for announcing+helping — the price of wait-free HI)")
+	fmt.Println()
+}
+
+func runE12() {
+	fmt.Println("=== E12: the cost of clearing (full Algorithm 5 vs non-clearing ablation)")
+	fmt.Printf("%10s %8s %14s %14s %10s\n", "object", "readFrac", "universal-hi", "leaky", "overhead")
+	for _, readFrac := range []float64{0.0, 0.5, 0.9} {
+		const n = 4
+		full := conc.NewUniversal(conc.CounterObj{}, n)
+		leaky := conc.NewLeakyUniversal(conc.CounterObj{}, n)
+		tFull := runCounter(full, n, *opsFlag/n, readFrac)
+		tLeaky := runCounter(leaky, n, *opsFlag/n, readFrac)
+		fmt.Printf("%10s %8.1f %14s %14s %9.2fx\n", "counter", readFrac,
+			perOp(tFull, *opsFlag), perOp(tLeaky, *opsFlag),
+			float64(tFull)/float64(tLeaky))
+	}
+	fmt.Println("    (overhead should be a modest constant factor — clearing adds one")
+	fmt.Println("     SC to head, one announce Store and the RL releases per operation)")
+}
+
+func runCounter(a conc.Applier, n, opsPer int, readFrac float64) time.Duration {
+	return timeIt(func() {
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				ops := workload.NewGen(100+int64(pid)).CounterMix(opsPer, readFrac)
+				for _, op := range ops {
+					a.Apply(pid, op)
+				}
+			}(pid)
+		}
+		wg.Wait()
+	})
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func perOp(d time.Duration, n int) string {
+	return fmt.Sprintf("%.1f ns", float64(d.Nanoseconds())/float64(n))
+}

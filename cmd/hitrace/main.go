@@ -1,0 +1,77 @@
+// Command hitrace renders paper-figure-style execution traces:
+//
+//	E3 — Figure 1: an annotated execution of Algorithm 2 with each
+//	     configuration tagged by the observation classes that admit it
+//	     (P = mid-update, perfect HI only; S = state-quiescent;
+//	     Q = quiescent).
+//	E6 — Figure 3: the head-mode alternation of the universal construction
+//	     (mode A ⟨q,⊥⟩ to mode B ⟨q',⟨r,j⟩⟩ and back).
+//
+// Usage:
+//
+//	hitrace [-exp E3,E6|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"hiconc/internal/core"
+	"hiconc/internal/llsc"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+	"hiconc/internal/trace"
+	"hiconc/internal/universal"
+)
+
+var expFlag = flag.String("exp", "all", "experiments to render: E3, E6 or 'all'")
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.ToUpper(strings.TrimSpace(e))] = true
+	}
+	all := want["ALL"]
+	if all || want["E3"] {
+		runE3()
+	}
+	if all || want["E6"] {
+		runE6()
+	}
+}
+
+func runE3() {
+	fmt.Println("=== E3 (Figure 1): Write(2) ‖ Read on Algorithm 2, K=4")
+	h := registers.NewAlg2(4, 4)
+	scripts := [][]core.Op{
+		{{Name: spec.OpWrite, Arg: 2}},
+		{{Name: spec.OpRead}},
+	}
+	// Interleave: the reader scans while the write is mid-flight, as in
+	// Figure 1's points ② and ③.
+	sch := &sim.Phases{List: []sim.Phase{
+		{PID: 0, Steps: 2}, {PID: 1, Steps: 3}, {PID: 0, Steps: 10}, {PID: 1, Steps: 20},
+	}}
+	tr := h.BuildScripts(scripts).Run(sch, 200)
+	fmt.Print(trace.Figure1(tr))
+	fmt.Println("legend: P = state-changing op pending (perfect HI observers only)")
+	fmt.Println("        S = state-quiescent (Definition 7)   Q = quiescent (Definition 8)")
+	fmt.Println()
+}
+
+func runE6() {
+	fmt.Println("=== E6 (Figure 3): head-mode alternation of Algorithm 5 (counter, n=2, CAS cells)")
+	h := universal.CounterHarness(4, 2, llsc.CASFactory{}, universal.Full)
+	inc := core.Op{Name: spec.OpInc}
+	dec := core.Op{Name: spec.OpDec}
+	tr := h.BuildScripts([][]core.Op{{inc, inc}, {inc, dec}}).Run(&sim.RoundRobin{Quantum: 3}, 2000)
+	fmt.Print(trace.HeadModes(tr))
+	fmt.Println("(mode A = <q,⊥>, mode B = <q',<r,pj>>; Invariant 22: the two strictly alternate,")
+	fmt.Println(" and each B->A transition erases the response while preserving the state)")
+	fmt.Println()
+	fmt.Println("operations (responses are fetch-and-inc/dec previous values):")
+	fmt.Print(trace.Summary(tr))
+}

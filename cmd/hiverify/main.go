@@ -1,0 +1,315 @@
+// Command hiverify runs the verification suite that reproduces the paper's
+// claims as executable checks: the Table 1 possibility/impossibility matrix
+// for SWSR registers, the Section 5.1 positive results (max register, set),
+// the universal construction of Section 6 with its ablations, and the
+// Algorithm 6 R-LLSC properties.
+//
+// Usage:
+//
+//	hiverify [-exp E1,E2,...|all] [-deep]
+//
+// Each experiment prints PASS/REFUTED lines; REFUTED(expected) marks
+// violations the paper predicts (impossibility witnesses).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/llsc"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+	"hiconc/internal/universal"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14) or 'all'")
+	deepFlag = flag.Bool("deep", false, "use deeper exploration bounds (slower)")
+)
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.ToUpper(strings.TrimSpace(e))] = true
+	}
+	all := want["ALL"]
+	failed := false
+	run := func(id, title string, f func() error) {
+		if !all && !want[id] {
+			return
+		}
+		fmt.Printf("=== %s: %s\n", id, title)
+		if err := f(); err != nil {
+			failed = true
+			fmt.Printf("    FAILED: %v\n", err)
+		}
+	}
+
+	run("E1", "Algorithm 1 is not history independent (Section 4)", runE1)
+	run("E2", "Table 1: the SWSR register possibility matrix", runE2)
+	run("E6", "Universal construction: linearizable, wait-free, state-quiescent HI (Theorem 32)", runE6)
+	run("E7", "Ablation: removing the RL lines breaks quiescent HI (Lemma 27)", runE7)
+	run("E8", "Ablation: removing the escape hatches breaks wait-freedom", runE8)
+	run("E9", "Algorithm 6: R-LLSC from CAS (Theorem 28)", runE9)
+	run("E13", "Proposition 19: the reader must write", runE13)
+	run("E14", "Section 5.1: max register and set positive results", runE14)
+	run("E15", "Baseline: the Fatourou-Kallimanis-style universal construction is not HI", runE15)
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func depth(short, deep int) int {
+	if *deepFlag {
+		return deep
+	}
+	return short
+}
+
+var (
+	rd = core.Op{Name: spec.OpRead}
+	w  = func(v int) core.Op { return core.Op{Name: spec.OpWrite, Arg: v} }
+)
+
+func runE1() error {
+	h := registers.NewAlg1(3, 1)
+	_, err := hicheck.BuildCanon(h, 2, 400)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		return fmt.Errorf("expected a sequential HI violation, got %v", err)
+	}
+	fmt.Printf("    REFUTED(expected): %v\n", v)
+	fmt.Println("    PASS: Algorithm 1 leaks history, as Section 4 observes")
+	return nil
+}
+
+// verifyCell checks one (implementation, observation class) cell of Table 1.
+func verifyCell(h *harness.Harness, class hicheck.ObsClass, canonOps, maxSteps, fuzz int) error {
+	c, err := hicheck.BuildCanon(h, canonOps, 1200)
+	if err != nil {
+		return err
+	}
+	scripts := hicheck.Scripts(h, []int{1, 1})
+	if _, err := hicheck.CheckExhaustive(c, h, scripts, class, maxSteps, 2_000_000, true); err != nil {
+		return err
+	}
+	big := [][][]core.Op{{{w(2), w(1), w(3)}, {rd, rd}}}
+	return hicheck.CheckRandom(c, h, big, class, fuzz, 1, 400, true)
+}
+
+// refuteCell finds the violation witness for a cell the paper proves
+// impossible to fill.
+func refuteCell(h *harness.Harness, class hicheck.ObsClass, lens []int) (*hicheck.Violation, error) {
+	c, err := hicheck.BuildCanon(h, 2, 1200)
+	if err != nil {
+		return nil, err
+	}
+	v := hicheck.FindViolation(c, h, hicheck.Scripts(h, lens), class, 12, 200000)
+	if v == nil {
+		return nil, errors.New("no violation found")
+	}
+	return v, nil
+}
+
+func runE2() error {
+	alg2 := registers.NewAlg2(3, 1)
+	alg4 := registers.NewAlg4(3, 1)
+	ms := depth(13, 16)
+
+	fmt.Println("    Alg 2 (lock-free):")
+	if err := verifyCell(alg2, hicheck.StateQuiescent, 3, ms, 400); err != nil {
+		return fmt.Errorf("Alg 2 state-quiescent HI: %w", err)
+	}
+	fmt.Println("      state-quiescent HI  PASS   (Theorem 9)")
+	if v, err := refuteCell(alg2, hicheck.Perfect, []int{1, 0}); err != nil {
+		return fmt.Errorf("Alg 2 perfect HI refutation: %w", err)
+	} else {
+		fmt.Printf("      perfect HI          REFUTED(expected): %v\n", v)
+	}
+
+	fmt.Println("    Alg 4 (wait-free):")
+	if err := verifyCell(alg4, hicheck.Quiescent, 3, ms, 400); err != nil {
+		return fmt.Errorf("Alg 4 quiescent HI: %w", err)
+	}
+	fmt.Println("      quiescent HI        PASS   (Theorem 12)")
+	if v, err := refuteCell(alg4, hicheck.StateQuiescent, []int{0, 1}); err != nil {
+		return fmt.Errorf("Alg 4 state-quiescent refutation: %w", err)
+	} else {
+		fmt.Printf("      state-quiescent HI  REFUTED(expected): %v\n", v)
+	}
+	fmt.Println("    (wait-free + state-quiescent HI is impossible from binary registers: run histarve -exp E4)")
+	return nil
+}
+
+func runE6() error {
+	for _, f := range []llsc.Factory{llsc.HardwareFactory{}, llsc.CASFactory{}} {
+		h := universal.CounterHarness(2, 2, f, universal.Full)
+		c, err := hicheck.BuildCanon(h, 3, 2000)
+		if err != nil {
+			return err
+		}
+		inc := core.Op{Name: spec.OpInc}
+		dec := core.Op{Name: spec.OpDec}
+		scripts := [][][]core.Op{{{inc}, {inc}}, {{inc}, {dec}}, {{dec}, {inc}}}
+		ms := depth(12, 15)
+		if f.Name() == "hw" {
+			ms += 2
+		}
+		n, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, ms, 2_000_000, true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", h.Name, err)
+		}
+		fmt.Printf("    %-40s PASS (%d interleavings exhaustively)\n", h.Name, n)
+
+		h3 := universal.CounterHarness(3, 3, f, universal.Full)
+		c3, err := hicheck.BuildCanon(h3, 3, 2000)
+		if err != nil {
+			return err
+		}
+		fuzz := [][][]core.Op{{{inc, inc}, {dec, rd}, {inc, dec}}}
+		if err := hicheck.CheckRandom(c3, h3, fuzz, hicheck.StateQuiescent, depth(300, 2000), 5, 2000, true); err != nil {
+			return fmt.Errorf("%s fuzz: %w", h3.Name, err)
+		}
+		fmt.Printf("    %-40s PASS (random-schedule fuzz)\n", h3.Name)
+	}
+	return nil
+}
+
+func runE7() error {
+	inc := core.Op{Name: spec.OpInc}
+	for _, variant := range []universal.Variant{universal.NoRelease, universal.Full} {
+		h := universal.CounterHarness(3, 2, llsc.CASFactory{}, variant)
+		c, err := hicheck.BuildCanon(h, 2, 2000)
+		if err != nil {
+			return err
+		}
+		var found *hicheck.Violation
+		for a := 1; a <= 30 && found == nil; a++ {
+			for b := 1; b <= 15 && found == nil; b++ {
+				tr := h.BuildScripts([][]core.Op{{inc}, {inc}}).Run(phases(1, a, 0, b), 1000)
+				if tr.Truncated {
+					continue
+				}
+				if err := hicheck.CheckTrace(c, tr, hicheck.Quiescent); err != nil {
+					var v *hicheck.Violation
+					if errors.As(err, &v) {
+						found = v
+					}
+				}
+			}
+		}
+		switch {
+		case variant == universal.NoRelease && found == nil:
+			return errors.New("NoRelease mutant: no violation found")
+		case variant == universal.NoRelease:
+			fmt.Printf("    no-release mutant   REFUTED(expected): %v\n", found)
+		case found != nil:
+			return fmt.Errorf("full algorithm violated quiescent HI: %v", found)
+		default:
+			fmt.Println("    faithful Algorithm 5 PASS over the same schedule grid")
+		}
+	}
+	return nil
+}
+
+func runE8() error {
+	p0, p1, steps := universal.StarvationDemo(universal.NoEscape, 40, 4000)
+	if p0 != 0 || p1 < 20 {
+		return fmt.Errorf("NoEscape demo inconclusive: p0=%d p1=%d", p0, p1)
+	}
+	fmt.Printf("    no-escape mutant: p0 starved (%d steps, 0 ops) while p1 completed %d ops\n", steps, p1)
+	p0, p1, steps = universal.StarvationDemo(universal.Full, 40, 6000)
+	if p0 != 1 {
+		return fmt.Errorf("full variant did not escape: p0=%d p1=%d", p0, p1)
+	}
+	fmt.Printf("    faithful Algorithm 5: p0 escaped after %d steps while p1 completed %d ops\n", steps, p1)
+	return nil
+}
+
+func runE9() error {
+	// The R-LLSC checks live in the llsc test suite; here we re-verify the
+	// perfect-HI core property: the cell's memory representation is exactly
+	// its (val, context) state, with contexts empty at quiescence, by
+	// running the universal construction's canonical map over it.
+	h := universal.CounterHarness(2, 2, llsc.CASFactory{}, universal.Full)
+	c, err := hicheck.BuildCanon(h, 3, 2000)
+	if err != nil {
+		return err
+	}
+	for state, mem := range c.ByState {
+		for _, cell := range mem {
+			if !strings.HasSuffix(cell, "|ctx=0)") {
+				return fmt.Errorf("state %q: cell %s has a non-empty context at quiescence", state, cell)
+			}
+		}
+	}
+	fmt.Printf("    PASS: %d canonical states, all contexts empty (Lemma 27)\n", len(c.ByState))
+	return nil
+}
+
+func runE13() error {
+	h := registers.NewAlg4Mutant(3, 3, registers.Alg4ReaderSilent)
+	scripts := [][]core.Op{{w(1), w(3), w(1)}, {rd}}
+	sched := []int{1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1}
+	tr := h.BuildScripts(scripts).Run(sim.FixedSchedule(sched), 200)
+	resps := tr.Responses(1)
+	if len(resps) != 1 || resps[0] != registers.Bot {
+		return fmt.Errorf("silent reader returned %v; expected the ⊥ response", resps)
+	}
+	fmt.Println("    REFUTED(expected): with a non-writing reader, a Read finds no value to return")
+	return nil
+}
+
+func runE14() error {
+	mr := registers.NewMaxReg(3, 1)
+	if err := verifyCell(mr, hicheck.StateQuiescent, 3, depth(12, 14), 300); err != nil {
+		return fmt.Errorf("max register: %w", err)
+	}
+	fmt.Println("    max register: wait-free state-quiescent HI  PASS")
+	st := registers.NewSet(2, 2)
+	c, err := hicheck.BuildCanon(st, 3, 400)
+	if err != nil {
+		return err
+	}
+	if d := c.MaxCanonDistance(); d > 1 {
+		return fmt.Errorf("set canonical distance %d > 1", d)
+	}
+	ins := func(v int) core.Op { return core.Op{Name: spec.OpInsert, Arg: v} }
+	look := func(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+	scripts := [][][]core.Op{{{ins(1), ins(2)}, {look(1), ins(1)}}}
+	if _, err := hicheck.CheckExhaustive(c, st, scripts, hicheck.Perfect, 10, 300000, true); err != nil {
+		return err
+	}
+	fmt.Println("    set: wait-free perfect HI                   PASS")
+	return nil
+}
+
+func runE15() error {
+	h := universal.NewFKHarness(spec.NewCounter(2, 1), 2, llsc.CASFactory{})
+	_, err := hicheck.BuildCanon(h, 2, 2000)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		return fmt.Errorf("expected a sequential HI violation, got %v", err)
+	}
+	fmt.Printf("    REFUTED(expected): %v\n", v)
+	fmt.Println("    PASS: storing responses in head reveals completed operations,")
+	fmt.Println("    which is precisely what Algorithm 5's clearing stages erase")
+	return nil
+}
+
+// phases builds the two-phase-then-finish schedule used by E7.
+func phases(pid1, n1, pid2, n2 int) *sim.Phases {
+	return &sim.Phases{List: []sim.Phase{
+		{PID: pid1, Steps: n1}, {PID: pid2, Steps: n2},
+		{PID: pid1, Steps: 400}, {PID: pid2, Steps: 400},
+	}}
+}

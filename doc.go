@@ -1,0 +1,35 @@
+// Package hiconc reproduces "History-Independent Concurrent Objects"
+// (Attiya, Bender, Farach-Colton, Oshman, Schiller; PODC 2024,
+// arXiv:2403.14445) as a Go library.
+//
+// A concurrent data structure is history independent (HI) when its shared
+// memory representation reveals only its current abstract state — never the
+// operations that produced it. The paper defines three observation models
+// (perfect, state-quiescent, quiescent HI), proves that a large class of
+// objects cannot be implemented wait-free and HI from small base objects,
+// and gives a wait-free state-quiescent HI universal construction from CAS.
+//
+// The module layout:
+//
+//   - internal/core, internal/spec — abstract objects and sequential
+//     specifications (Section 2);
+//   - internal/sim — a lock-step shared-memory simulator in which every
+//     primitive is one scheduled step and every configuration's memory
+//     representation is observable (the substrate for all verification);
+//   - internal/linearize, internal/hicheck — linearizability checking and
+//     the history-independence checkers for Definitions 4/5/7/8;
+//   - internal/registers — Algorithms 1, 2 and 4, the Section 5.1 max
+//     register and set, and a queue-with-Peek from binary registers;
+//   - internal/llsc, internal/universal — Algorithm 6 (R-LLSC from CAS) and
+//     Algorithm 5 (the universal construction), with ablation mutants;
+//   - internal/adversary — the constructive Theorem 17 and Theorem 20
+//     impossibility adversaries;
+//   - internal/conc, internal/obj — native goroutine/atomic ports and the
+//     user-facing objects (Counter, Register, MaxRegister, Queue, Stack,
+//     Set);
+//   - cmd/hiverify, cmd/histarve, cmd/hibench, cmd/hitrace — the
+//     experiment drivers (see EXPERIMENTS.md).
+//
+// This file's directory also hosts the root benchmark harness
+// (bench_test.go), with one benchmark family per experiment.
+package hiconc

@@ -1,0 +1,120 @@
+// Voting: the paper's motivating application domain (history-independent
+// voting machines, [14] in the paper). A ballot box must reveal the tally —
+// and nothing else: not who voted when, not the order of votes, not votes
+// that were cast and corrected.
+//
+// This example defines a custom tally object (a user-supplied conc.Object)
+// and runs it through the universal construction, then contrasts it with a
+// naive append-a-log ballot box whose memory representation leaks the exact
+// voting order.
+//
+// Run with: go run ./examples/voting
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+)
+
+// candidates in the running.
+var candidates = []string{"Ada", "Barbara", "Grace"}
+
+// tallyObj is a history-independent ballot box: its abstract state is just
+// the per-candidate counts (an immutable [3]int value).
+type tallyObj struct{}
+
+func (tallyObj) Name() string { return "tally" }
+func (tallyObj) Init() any    { return [3]int{} }
+
+func (tallyObj) Apply(state any, op core.Op) (any, int) {
+	t := state.([3]int)
+	switch op.Name {
+	case "vote":
+		t[op.Arg]++ // t is a copy: arrays are values
+		return t, 0
+	case "count":
+		return state, t[op.Arg]
+	default:
+		panic("tally: unknown op " + op.Name)
+	}
+}
+
+func (tallyObj) ReadOnly(op core.Op) bool { return op.Name == "count" }
+
+// naiveBallotBox is what NOT to do: it appends every ballot to a log. The
+// final state is the same tally, but the memory representation is the
+// sequence of votes — an observer who seizes the machine learns the order
+// (and with timestamps or precinct order, the voters).
+type naiveBallotBox struct {
+	mu  sync.Mutex
+	log []int
+}
+
+func (b *naiveBallotBox) vote(c int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.log = append(b.log, c)
+}
+
+func (b *naiveBallotBox) memory() string { return fmt.Sprint(b.log) }
+
+func main() {
+	const voters = 3
+
+	runElection := func(ballots [][]int) (string, [3]int) {
+		box := conc.NewUniversal(tallyObj{}, voters)
+		var wg sync.WaitGroup
+		for pid, bs := range ballots {
+			wg.Add(1)
+			go func(pid int, bs []int) {
+				defer wg.Done()
+				for _, c := range bs {
+					box.Apply(pid, core.Op{Name: "vote", Arg: c})
+				}
+			}(pid, bs)
+		}
+		wg.Wait()
+		return box.Snapshot(), box.State().([3]int)
+	}
+
+	// Two elections with the same outcome but different voting orders.
+	memA, tallyA := runElection([][]int{{0, 0, 1}, {2, 1}, {0}})
+	memB, tallyB := runElection([][]int{{1, 2}, {0, 0}, {1, 0}})
+
+	fmt.Println("election A tally:", render(tallyA))
+	fmt.Println("election B tally:", render(tallyB))
+	fmt.Println("election A memory:", memA)
+	fmt.Println("election B memory:", memB)
+	if memA == memB {
+		fmt.Println("=> the HI ballot box reveals the tally and nothing else")
+	} else {
+		fmt.Println("=> HISTORY LEAK (this should never happen)")
+	}
+
+	// The naive box leaks the order.
+	naiveA, naiveB := &naiveBallotBox{}, &naiveBallotBox{}
+	for _, c := range []int{0, 0, 1, 2, 1, 0} {
+		naiveA.vote(c)
+	}
+	for _, c := range []int{1, 2, 0, 0, 1, 0} {
+		naiveB.vote(c)
+	}
+	fmt.Println()
+	fmt.Println("naive log A:", naiveA.memory())
+	fmt.Println("naive log B:", naiveB.memory())
+	fmt.Println("=> same tally, different memory: the naive box leaks who voted when")
+}
+
+func render(t [3]int) string {
+	s := ""
+	for i, c := range candidates {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", c, t[i])
+	}
+	return s
+}

@@ -1,0 +1,332 @@
+// Package adversary implements the constructive content of the paper's
+// impossibility proofs:
+//
+//   - Theorem 17 (via Lemmas 15 and 16): for any object in the class C_t
+//     implemented from base objects with fewer than t states in a
+//     state-quiescent HI manner, an adversarial scheduler can run t
+//     indistinguishable executions in lock step and starve a read operation
+//     forever, so the implementation cannot be wait-free.
+//   - Theorem 20 (Appendix C): the queue-with-Peek variant, which replaces
+//     the state partition with t+1 representative states connected by the
+//     operation sequences S(i1, i2) of Section 5.4.
+//
+// The adversary maintains the t (or t+1) executions as parallel simulator
+// instances. In every round it inspects the base object ℓ that the parked
+// reader is about to access, uses the canonical map to find two
+// representative states whose canonical representations agree at ℓ (the
+// pigeonhole step of Lemma 16 — possible because the base object has fewer
+// states than there are representatives), moves each execution's changer to
+// a representative that execution must avoid... and grants the reader a
+// single step, verifying that all copies of the reader remain
+// indistinguishable (same primitive, same object, same result).
+//
+// Running the adversary against Algorithm 2 (which satisfies the theorem's
+// hypotheses except wait-freedom) starves the reader for as many rounds as
+// requested. Running it against Algorithm 4 — which is *not* state-quiescent
+// HI, and therefore outside the theorem — makes the executions diverge or
+// the reader return: the helping mechanism defeats the adversary, exhibiting
+// exactly the boundary drawn by Table 1.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/sim"
+)
+
+// Config describes how the adversary drives an object.
+type Config struct {
+	// Representatives are the representative states q_0, ..., q_t: the
+	// read operation must return a distinct response from each, and the
+	// implementation's base objects must have fewer states than there are
+	// representatives.
+	Representatives []string
+	// Move returns the operation sequence taking the object from
+	// representative state q to representative state q2 without passing
+	// through a state whose read response differs from both endpoints'
+	// (the o_change of Definition 13, or S(i1,i2) of Section 5.4).
+	Move func(q, q2 string) []core.Op
+	// ReadOp is the read-only operation the starved reader executes.
+	ReadOp core.Op
+	// ChangerPID and ReaderPID identify the two processes in the harness.
+	ChangerPID, ReaderPID int
+}
+
+// RegisterConfig returns the C_t configuration of a K-valued register:
+// every state is its own representative and a single Write moves between
+// any two states.
+func RegisterConfig(k int) Config {
+	reps := make([]string, k)
+	for v := 1; v <= k; v++ {
+		reps[v-1] = fmt.Sprint(v)
+	}
+	return Config{
+		Representatives: reps,
+		Move: func(_, q2 string) []core.Op {
+			return []core.Op{{Name: "write", Arg: atoi(q2)}}
+		},
+		ReadOp:     core.Op{Name: "read"},
+		ChangerPID: 0,
+		ReaderPID:  1,
+	}
+}
+
+// QueueConfig returns the Theorem 20 configuration of a queue with Peek
+// over elements {1..t}: representatives are the empty queue and the t
+// singleton queues, connected by the S(i1, i2) sequences of Section 5.4.
+func QueueConfig(t int) Config {
+	reps := make([]string, t+1)
+	reps[0] = "" // the empty queue
+	for v := 1; v <= t; v++ {
+		reps[v] = fmt.Sprint(v)
+	}
+	return Config{
+		Representatives: reps,
+		Move: func(q, q2 string) []core.Op {
+			switch {
+			case q == "": // S(0, i2) = Enqueue(i2)
+				return []core.Op{{Name: "enq", Arg: atoi(q2)}}
+			case q2 == "": // S(i1, 0) = Dequeue()
+				return []core.Op{{Name: "deq"}}
+			default: // S(i1, i2) = Enqueue(i2), Dequeue()
+				return []core.Op{{Name: "enq", Arg: atoi(q2)}, {Name: "deq"}}
+			}
+		},
+		ReadOp:     core.Op{Name: "peek"},
+		ChangerPID: 0,
+		ReaderPID:  1,
+	}
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			panic("adversary: non-numeric state " + s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Result reports the outcome of an adversary run.
+type Result struct {
+	// Rounds is the number of completed adversary rounds (each grants the
+	// reader exactly one step).
+	Rounds int
+	// ReaderSteps is the total number of steps the reader took.
+	ReaderSteps int
+	// Starved is true if the reader never returned within the round
+	// budget: the wait-freedom violation of Theorem 17.
+	Starved bool
+	// Returned is true if some copy of the reader returned a value — the
+	// adversary was defeated (possible only when the implementation is
+	// outside the theorem's hypotheses).
+	Returned bool
+	// Response is the value returned (meaningful when Returned).
+	Response int
+	// Diverged is true if the reader copies became distinguishable: some
+	// execution's memory failed to be canonical where the adversary
+	// needed it (again, outside the theorem's hypotheses).
+	Diverged bool
+	// Detail describes the divergence.
+	Detail string
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	switch {
+	case r.Starved:
+		return fmt.Sprintf("reader starved: %d steps over %d rounds without returning", r.ReaderSteps, r.Rounds)
+	case r.Returned:
+		return fmt.Sprintf("adversary defeated: reader returned %d after %d rounds", r.Response, r.Rounds)
+	case r.Diverged:
+		return fmt.Sprintf("adversary defeated: executions diverged after %d rounds (%s)", r.Rounds, r.Detail)
+	default:
+		return fmt.Sprintf("inconclusive after %d rounds", r.Rounds)
+	}
+}
+
+// execution is one of the t+1 parallel executions maintained by Lemma 16.
+type execution struct {
+	runner *sim.Runner
+	feed   *harness.Feed
+	state  string // current representative state
+	avoid  int    // index of the representative this execution avoids
+}
+
+// Run drives the Lemma 16 adversary against the harness for at most
+// maxRounds rounds. The canonical map must cover all representative states.
+// It returns an error only on misuse (missing canonical entries, harness
+// shape mismatch); theorem-relevant outcomes are reported in the Result.
+func Run(h *harness.Harness, cfg Config, canon *hicheck.Canon, maxRounds int) (*Result, error) {
+	reps := cfg.Representatives
+	if len(reps) < 2 {
+		return nil, errors.New("adversary: need at least two representative states")
+	}
+	canons := make([][]string, len(reps))
+	for i, q := range reps {
+		mem, ok := canon.ByState[q]
+		if !ok {
+			return nil, fmt.Errorf("adversary: canonical map does not cover state %q", q)
+		}
+		canons[i] = mem
+	}
+
+	// Start one execution per representative; execution i avoids reps[i].
+	execs := make([]*execution, len(reps))
+	for i := range execs {
+		feed := harness.NewFeed()
+		srcs := make([]harness.OpSource, h.NumProcs())
+		for pid := range srcs {
+			switch pid {
+			case cfg.ChangerPID:
+				srcs[pid] = feed
+			case cfg.ReaderPID:
+				srcs[pid] = harness.NewSliceSource([]core.Op{cfg.ReadOp})
+			default:
+				srcs[pid] = harness.NewSliceSource(nil)
+			}
+		}
+		r := h.Build(srcs)
+		r.Start()
+		execs[i] = &execution{runner: r, feed: feed, state: canon.Spec.Init(), avoid: i}
+	}
+	defer func() {
+		for _, e := range execs {
+			e.runner.Stop()
+		}
+	}()
+
+	res := &Result{}
+	// Park every changer (it pauses on the empty feed); the reader is
+	// parked at its first primitive.
+	for _, e := range execs {
+		if err := settleChanger(e, cfg.ChangerPID); err != nil {
+			return nil, err
+		}
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		// 1. All readers must be parked at the same memory index.
+		objIdx := -1
+		for i, e := range execs {
+			prim, ok := e.runner.PendingPrim(cfg.ReaderPID)
+			if !ok {
+				res.Returned = true
+				res.Rounds = round
+				res.ReaderSteps = execs[0].runner.Trace().StepsBy(cfg.ReaderPID)
+				if rs := e.runner.Trace().Responses(cfg.ReaderPID); len(rs) > 0 {
+					res.Response = rs[0]
+				}
+				return res, nil
+			}
+			idx := e.runner.Mem().IndexOf(prim.Obj)
+			if i == 0 {
+				objIdx = idx
+			} else if idx != objIdx {
+				res.Diverged = true
+				res.Rounds = round
+				res.Detail = fmt.Sprintf("readers parked at different objects (%d vs %d)", objIdx, idx)
+				return res, nil
+			}
+		}
+
+		// 2. Pigeonhole (Lemma 16): find two representatives whose
+		// canonical representations agree at objIdx.
+		qa, qb := -1, -1
+		for i := 0; i < len(reps) && qa < 0; i++ {
+			for j := i + 1; j < len(reps); j++ {
+				if canons[i][objIdx] == canons[j][objIdx] {
+					qa, qb = i, j
+					break
+				}
+			}
+		}
+		if qa < 0 {
+			return nil, fmt.Errorf(
+				"adversary: no canonical collision at object %d — base objects are not smaller than the representative count",
+				objIdx)
+		}
+
+		// 3. Move each execution to a colliding representative it is
+		// allowed to visit, running the changer to completion.
+		for _, e := range execs {
+			target := qa
+			if e.avoid == qa {
+				target = qb
+			}
+			if e.state != reps[target] {
+				e.feed.Push(cfg.Move(e.state, reps[target])...)
+				if err := driveChanger(e, cfg.ChangerPID); err != nil {
+					return nil, err
+				}
+				e.state = reps[target]
+			}
+		}
+
+		// 4. One reader step in each execution; all copies must observe
+		// the same result (indistinguishability).
+		var firstPrim sim.Prim
+		var firstResult sim.Value
+		for i, e := range execs {
+			prim, _ := e.runner.PendingPrim(cfg.ReaderPID)
+			e.runner.Step(cfg.ReaderPID)
+			steps := e.runner.Trace().Steps
+			result := steps[len(steps)-1].Result
+			if i == 0 {
+				firstPrim, firstResult = prim, result
+				continue
+			}
+			if prim.Kind != firstPrim.Kind || result != firstResult {
+				res.Diverged = true
+				res.Rounds = round
+				res.Detail = fmt.Sprintf("reader observed %v=%v vs %v=%v",
+					firstPrim, firstResult, prim, result)
+				return res, nil
+			}
+		}
+		res.Rounds = round + 1
+	}
+	res.Starved = true
+	res.ReaderSteps = execs[0].runner.Trace().StepsBy(cfg.ReaderPID)
+	return res, nil
+}
+
+// settleChanger resumes the changer until it parks on the empty feed.
+func settleChanger(e *execution, pid int) error {
+	for i := 0; i < 1_000_000; i++ {
+		if paused(e.runner, pid) || e.runner.ProcDone(pid) {
+			return nil
+		}
+		if _, ok := e.runner.PendingPrim(pid); ok {
+			e.runner.Step(pid)
+			continue
+		}
+		return fmt.Errorf("adversary: changer p%d neither runnable nor paused", pid)
+	}
+	return errors.New("adversary: changer did not settle")
+}
+
+// driveChanger resumes a paused changer and runs it until it has drained its
+// feed and parked again. The reader takes no steps meanwhile, exactly as in
+// the α executions of Section 5.2.
+func driveChanger(e *execution, pid int) error {
+	if paused(e.runner, pid) {
+		e.runner.Resume(pid)
+	}
+	return settleChanger(e, pid)
+}
+
+func paused(r *sim.Runner, pid int) bool {
+	for _, p := range r.Paused() {
+		if p == pid {
+			return true
+		}
+	}
+	return false
+}

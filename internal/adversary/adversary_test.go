@@ -1,0 +1,185 @@
+package adversary_test
+
+import (
+	"strings"
+	"testing"
+
+	"hiconc/internal/adversary"
+	"hiconc/internal/core"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/llsc"
+	"hiconc/internal/registers"
+	"hiconc/internal/spec"
+	"hiconc/internal/universal"
+)
+
+// TestTheorem17StarvesAlg2 runs the Lemma 16 adversary against Algorithm 2,
+// which is state-quiescent HI from binary registers: the reader must starve,
+// confirming that the implementation cannot be wait-free (Theorem 17).
+func TestTheorem17StarvesAlg2(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		h := registers.NewAlg2(k, 1)
+		canon, err := hicheck.BuildCanon(h, 1, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rounds = 200
+		res, err := adversary.Run(h, adversary.RegisterConfig(k), canon, rounds)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if !res.Starved {
+			t.Fatalf("K=%d: %v; expected starvation", k, res)
+		}
+		if res.ReaderSteps != rounds {
+			t.Errorf("K=%d: reader took %d steps in %d rounds", k, res.ReaderSteps, rounds)
+		}
+		t.Logf("K=%d: %v", k, res)
+	}
+}
+
+// TestTheorem17RoundsScale demonstrates the unbounded nature of the
+// construction: the reader survives any requested number of rounds.
+func TestTheorem17RoundsScale(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	canon, err := hicheck.BuildCanon(h, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rounds := range []int{10, 100, 1000} {
+		res, err := adversary.Run(h, adversary.RegisterConfig(3), canon, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Starved || res.Rounds != rounds {
+			t.Fatalf("rounds=%d: %v", rounds, res)
+		}
+	}
+}
+
+// TestAdversaryDefeatedByAlg4: Algorithm 4 is not state-quiescent HI (the
+// helping array B and the flags break canonicity), so it lies outside
+// Theorem 17 — the adversary must fail against it, either because the reader
+// returns (helped by the writer) or because the executions diverge.
+func TestAdversaryDefeatedByAlg4(t *testing.T) {
+	h := registers.NewAlg4(3, 1)
+	canon, err := hicheck.BuildCanon(h, 1, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adversary.Run(h, adversary.RegisterConfig(3), canon, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starved {
+		t.Fatalf("adversary starved Algorithm 4's reader, contradicting its wait-freedom: %v", res)
+	}
+	if !res.Returned && !res.Diverged {
+		t.Fatalf("inconclusive result: %v", res)
+	}
+	t.Logf("Algorithm 4 defeats the adversary: %v", res)
+}
+
+// TestAdversaryDefeatedByMaxReg: the max register is not in C_t (its states
+// are not mutually reachable), so the adversary cannot even be configured
+// for it — a register-style Move would have to lower the maximum. We run the
+// register configuration against it anyway restricted to ascending moves
+// being absorbed; the reader returns promptly.
+func TestAdversaryDefeatedByMaxReg(t *testing.T) {
+	h := registers.NewMaxReg(3, 1)
+	canon, err := hicheck.BuildCanon(h, 2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adversary.Run(h, adversary.RegisterConfig(3), canon, 200)
+	if err != nil {
+		// The canonical map cannot distinguish states the object cannot
+		// reach; an error here is also an acceptable demonstration.
+		t.Logf("adversary not applicable to the max register: %v", err)
+		return
+	}
+	if res.Starved {
+		t.Fatalf("adversary starved the wait-free max register reader: %v", res)
+	}
+	t.Logf("max register defeats the adversary: %v", res)
+}
+
+// TestTheorem20StarvesHIQueue runs the Appendix C adversary against the
+// queue-with-Peek from binary registers: base objects have 2 < t+1 states,
+// the implementation is state-quiescent HI, so Peek must starve.
+func TestTheorem20StarvesHIQueue(t *testing.T) {
+	for _, tt := range []int{2, 3} {
+		h := registers.NewHIQueue(tt, 2)
+		canon, err := hicheck.BuildCanon(h, 2, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rounds = 150
+		res, err := adversary.Run(h, adversary.QueueConfig(tt), canon, rounds)
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		if !res.Starved {
+			t.Fatalf("t=%d: %v; expected starvation", tt, res)
+		}
+		t.Logf("t=%d: %v", tt, res)
+	}
+}
+
+// TestAdversaryInapplicableToUniversal: Algorithm 5 stores the whole
+// abstract state in one base object, so the pigeonhole step of Lemma 16
+// finds no canonical collision — the hypothesis "base objects with fewer
+// than t states" fails, which is exactly why the universal construction can
+// be wait-free.
+func TestRunErrorPaths(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	canon, err := hicheck.BuildCanon(h, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer than two representatives is a configuration error.
+	cfg := adversary.RegisterConfig(3)
+	cfg.Representatives = cfg.Representatives[:1]
+	if _, err := adversary.Run(h, cfg, canon, 10); err == nil {
+		t.Error("single representative accepted")
+	}
+	// A representative missing from the canonical map is an error.
+	cfg = adversary.RegisterConfig(3)
+	cfg.Representatives = append(cfg.Representatives, "99")
+	if _, err := adversary.Run(h, cfg, canon, 10); err == nil {
+		t.Error("uncovered representative accepted")
+	}
+}
+
+func TestAdversaryInapplicableToUniversal(t *testing.T) {
+	h := universal.CounterHarness(2, 2, llsc.CASFactory{}, universal.Full)
+	canon, err := hicheck.BuildCanon(h, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := adversary.Config{
+		Representatives: []string{"0", "1", "2"},
+		Move: func(q, q2 string) []core.Op {
+			from, to := int(q[0]-'0'), int(q2[0]-'0')
+			var ops []core.Op
+			for ; from < to; from++ {
+				ops = append(ops, core.Op{Name: spec.OpInc})
+			}
+			for ; from > to; from-- {
+				ops = append(ops, core.Op{Name: spec.OpDec})
+			}
+			return ops
+		},
+		ReadOp:     core.Op{Name: spec.OpRead},
+		ChangerPID: 0,
+		ReaderPID:  1,
+	}
+	_, err = adversary.Run(h, cfg, canon, 50)
+	if err == nil {
+		t.Fatal("adversary found canonical collisions against the universal construction; its base objects should be too large")
+	}
+	if !strings.Contains(err.Error(), "no canonical collision") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	t.Logf("as expected: %v", err)
+}

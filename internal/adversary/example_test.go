@@ -1,0 +1,26 @@
+package adversary_test
+
+import (
+	"fmt"
+
+	"hiconc/internal/adversary"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/registers"
+)
+
+// The Theorem 17 adversary starves the reader of any state-quiescent HI
+// register implementation from binary registers, here Algorithm 2 with
+// K = 3 for 50 rounds (it would survive any number).
+func ExampleRun() {
+	h := registers.NewAlg2(3, 1)
+	canon, err := hicheck.BuildCanon(h, 1, 400)
+	if err != nil {
+		panic(err)
+	}
+	res, err := adversary.Run(h, adversary.RegisterConfig(3), canon, 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res)
+	// Output: reader starved: 50 steps over 50 rounds without returning
+}

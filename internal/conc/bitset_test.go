@@ -1,0 +1,92 @@
+package conc_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hiconc/internal/conc"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	s := conc.NewBitSet(8)
+	if s.Contains(3) {
+		t.Fatal("empty set contains 3")
+	}
+	s.Insert(3)
+	s.Insert(7)
+	if !s.Contains(3) || !s.Contains(7) || s.Contains(4) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Remove(3)
+	if s.Contains(3) {
+		t.Fatal("removed element still present")
+	}
+	if got := s.Snapshot(); got != "00000010" {
+		t.Fatalf("snapshot = %s", got)
+	}
+}
+
+// TestBitSetPerfectHIQuick: the memory representation is always exactly the
+// characteristic vector — for any operation sequence, the snapshot equals
+// the snapshot of any other sequence reaching the same set.
+func TestBitSetPerfectHIQuick(t *testing.T) {
+	const domain = 10
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := conc.NewBitSet(domain)
+		model := map[int]bool{}
+		for i := 0; i < int(n%64); i++ {
+			v := rng.Intn(domain) + 1
+			if rng.Intn(2) == 0 {
+				s.Insert(v)
+				model[v] = true
+			} else {
+				s.Remove(v)
+				delete(model, v)
+			}
+		}
+		// Rebuild canonically from the model.
+		canon := conc.NewBitSet(domain)
+		for v := range model {
+			canon.Insert(v)
+		}
+		return s.Snapshot() == canon.Snapshot()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitSetConcurrent(t *testing.T) {
+	const domain, n = 64, 8
+	s := conc.NewBitSet(domain)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			// Each goroutine owns a disjoint slice of the domain.
+			lo := pid*domain/n + 1
+			hi := (pid + 1) * domain / n
+			for v := lo; v <= hi; v++ {
+				s.Insert(v)
+			}
+			for v := lo; v <= hi; v += 2 {
+				s.Remove(v)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	for v := 1; v <= domain; v++ {
+		lo := ((v - 1) / (domain / n)) * (domain / n) // owner's slice start - 1
+		want := (v-lo)%2 == 0
+		if s.Contains(v) != want {
+			t.Fatalf("element %d: contains = %v, want %v", v, s.Contains(v), want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package conc is the native port of the paper's constructions to real Go
+// concurrency: goroutines synchronizing through sync/atomic instead of
+// simulated processes. It provides
+//
+//   - Cell: the R-LLSC object of Section 6.1, implemented from pointer CAS
+//     in the style of Algorithm 6;
+//   - Universal: Algorithm 5 over Cells, with the Leaky ablation;
+//   - the SWSR register algorithms of Section 4 over atomic int32 arrays;
+//   - baselines (mutex-guarded object, lock-free CAS loop without helping)
+//     used by the benchmark suite.
+//
+// Substitution note (see DESIGN.md): Go has no wide value CAS, so a Cell
+// packs (val, context) into an immutable node behind atomic.Pointer. CAS on
+// the pointer is strictly stronger than value CAS (no ABA), so all of
+// Algorithm 6's correctness arguments carry over. The memory representation
+// of the abstract construction is the logical (val, context) pair, exposed
+// via Snapshot for history-independence checks at quiescent barriers.
+package conc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// node is one immutable version of a cell's state.
+type node struct {
+	val any
+	ctx uint64
+}
+
+// Cell is a context-aware releasable LL/SC cell: the native counterpart of
+// Algorithm 6. All methods are safe for concurrent use; pid identifies the
+// calling process (0..63) and must be unique per concurrent caller.
+type Cell struct {
+	p atomic.Pointer[node]
+}
+
+// NewCell returns a cell holding val with an empty context.
+func NewCell(val any) *Cell {
+	c := &Cell{}
+	c.p.Store(&node{val: val})
+	return c
+}
+
+func pidBit(pid int) uint64 {
+	if pid < 0 || pid >= 64 {
+		panic(fmt.Sprintf("conc: pid %d out of range 0..63", pid))
+	}
+	return uint64(1) << uint(pid)
+}
+
+// Load returns the value without touching the context (Algorithm 6 line 21).
+func (c *Cell) Load() any { return c.p.Load().val }
+
+// Snapshot returns the logical state (val, context) of the cell; it is the
+// cell's memory representation for history-independence checking.
+func (c *Cell) Snapshot() (any, uint64) {
+	n := c.p.Load()
+	return n.val, n.ctx
+}
+
+// Store sets the value and resets the context (Algorithm 6 line 23).
+func (c *Cell) Store(val any) { c.p.Store(&node{val: val}) }
+
+// LL load-links: it adds pid to the context and returns the value
+// (Algorithm 6 lines 1-6). Lock-free.
+func (c *Cell) LL(pid int) any {
+	v, _ := c.LLWithAbort(pid, nil)
+	return v
+}
+
+// LLWithAbort is LL with an escape hatch: between a failed attempt and the
+// next, abort is polled; if it reports true the LL is abandoned with no
+// context change and ok = false. This realizes the ∥ interleavings of
+// Algorithm 5's lines 6, 18 and 25.
+func (c *Cell) LLWithAbort(pid int, abort func() bool) (val any, ok bool) {
+	bit := pidBit(pid)
+	for {
+		n := c.p.Load()
+		if n.ctx&bit != 0 {
+			// Already linked (an idempotent re-LL): return the value.
+			return n.val, true
+		}
+		if c.p.CompareAndSwap(n, &node{val: n.val, ctx: n.ctx | bit}) {
+			return n.val, true
+		}
+		if abort != nil && abort() {
+			return nil, false
+		}
+	}
+}
+
+// VL reports whether pid is linked (Algorithm 6 lines 12-13).
+func (c *Cell) VL(pid int) bool {
+	return c.p.Load().ctx&pidBit(pid) != 0
+}
+
+// SC store-conditionally writes val (Algorithm 6 lines 7-11): it succeeds
+// iff pid is still linked, resetting the context.
+func (c *Cell) SC(pid int, val any) bool {
+	bit := pidBit(pid)
+	for {
+		n := c.p.Load()
+		if n.ctx&bit == 0 {
+			return false
+		}
+		if c.p.CompareAndSwap(n, &node{val: val}) {
+			return true
+		}
+	}
+}
+
+// RL releases pid's link (Algorithm 6 lines 14-20).
+func (c *Cell) RL(pid int) {
+	bit := pidBit(pid)
+	for {
+		n := c.p.Load()
+		if n.ctx&bit == 0 {
+			return
+		}
+		if c.p.CompareAndSwap(n, &node{val: n.val, ctx: n.ctx &^ bit}) {
+			return
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package conc
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// Object is a deterministic sequential object for the native universal
+// construction: the (Q, q0, O, R, Δ) of Section 2 with states represented
+// as immutable Go values (shared freely between goroutines, never mutated).
+type Object interface {
+	// Name identifies the object type.
+	Name() string
+	// Init returns the initial state q0.
+	Init() any
+	// Apply is Δ: it returns the successor state and the response. It must
+	// not mutate state.
+	Apply(state any, op core.Op) (any, int)
+	// ReadOnly reports whether op never changes any state.
+	ReadOnly(op core.Op) bool
+}
+
+// CounterObj is an unbounded counter: inc/dec return the previous value,
+// read returns the current value.
+type CounterObj struct{}
+
+var _ Object = CounterObj{}
+
+// Name implements Object.
+func (CounterObj) Name() string { return "counter" }
+
+// Init implements Object.
+func (CounterObj) Init() any { return 0 }
+
+// Apply implements Object.
+func (CounterObj) Apply(state any, op core.Op) (any, int) {
+	v := state.(int)
+	switch op.Name {
+	case spec.OpRead:
+		return state, v
+	case spec.OpInc:
+		return v + 1, v
+	case spec.OpDec:
+		return v - 1, v
+	default:
+		panic("conc: counter: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements Object.
+func (CounterObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpRead }
+
+// RegisterObj is an integer register.
+type RegisterObj struct {
+	// V0 is the initial value.
+	V0 int
+}
+
+var _ Object = RegisterObj{}
+
+// Name implements Object.
+func (RegisterObj) Name() string { return "register" }
+
+// Init implements Object.
+func (r RegisterObj) Init() any { return r.V0 }
+
+// Apply implements Object.
+func (RegisterObj) Apply(state any, op core.Op) (any, int) {
+	switch op.Name {
+	case spec.OpRead:
+		return state, state.(int)
+	case spec.OpWrite:
+		return op.Arg, 0
+	default:
+		panic("conc: register: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements Object.
+func (RegisterObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpRead }
+
+// MaxRegisterObj is an integer max register.
+type MaxRegisterObj struct {
+	// V0 is the initial value.
+	V0 int
+}
+
+var _ Object = MaxRegisterObj{}
+
+// Name implements Object.
+func (MaxRegisterObj) Name() string { return "maxreg" }
+
+// Init implements Object.
+func (r MaxRegisterObj) Init() any { return r.V0 }
+
+// Apply implements Object.
+func (MaxRegisterObj) Apply(state any, op core.Op) (any, int) {
+	v := state.(int)
+	switch op.Name {
+	case spec.OpRead:
+		return state, v
+	case spec.OpWrite:
+		if op.Arg > v {
+			return op.Arg, 0
+		}
+		return state, 0
+	default:
+		panic("conc: maxreg: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements Object. Unlike the bounded model-checking spec, the
+// native max register treats every write as potentially state-changing
+// (the domain is unbounded).
+func (MaxRegisterObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpRead }
+
+// QueueObj is a FIFO queue of ints with Peek. States are immutable slices.
+type QueueObj struct{}
+
+var _ Object = QueueObj{}
+
+// Name implements Object.
+func (QueueObj) Name() string { return "queue" }
+
+// Init implements Object.
+func (QueueObj) Init() any { return []int(nil) }
+
+// Apply implements Object.
+func (QueueObj) Apply(state any, op core.Op) (any, int) {
+	q := state.([]int)
+	switch op.Name {
+	case spec.OpEnq:
+		next := make([]int, len(q)+1)
+		copy(next, q)
+		next[len(q)] = op.Arg
+		return next, 0
+	case spec.OpDeq:
+		if len(q) == 0 {
+			return state, 0
+		}
+		next := make([]int, len(q)-1)
+		copy(next, q[1:])
+		return next, q[0]
+	case spec.OpPeek:
+		if len(q) == 0 {
+			return state, 0
+		}
+		return state, q[0]
+	default:
+		panic("conc: queue: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements Object.
+func (QueueObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpPeek }
+
+// StackObj is a LIFO stack of ints with Top. States are immutable slices.
+type StackObj struct{}
+
+var _ Object = StackObj{}
+
+// Name implements Object.
+func (StackObj) Name() string { return "stack" }
+
+// Init implements Object.
+func (StackObj) Init() any { return []int(nil) }
+
+// Apply implements Object.
+func (StackObj) Apply(state any, op core.Op) (any, int) {
+	s := state.([]int)
+	switch op.Name {
+	case spec.OpPush:
+		next := make([]int, len(s)+1)
+		copy(next, s)
+		next[len(s)] = op.Arg
+		return next, 0
+	case spec.OpPop:
+		if len(s) == 0 {
+			return state, 0
+		}
+		next := make([]int, len(s)-1)
+		copy(next, s[:len(s)-1])
+		return next, s[len(s)-1]
+	case spec.OpTop:
+		if len(s) == 0 {
+			return state, 0
+		}
+		return state, s[len(s)-1]
+	default:
+		panic("conc: stack: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements Object.
+func (StackObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpTop }
+
+// SetObj is a set over {1..64} stored as a bitmask. Insert and remove are
+// acknowledged with 0; lookup returns membership.
+type SetObj struct{}
+
+var _ Object = SetObj{}
+
+// Name implements Object.
+func (SetObj) Name() string { return "set" }
+
+// Init implements Object.
+func (SetObj) Init() any { return uint64(0) }
+
+// Apply implements Object.
+func (SetObj) Apply(state any, op core.Op) (any, int) {
+	m := state.(uint64)
+	if op.Arg < 1 || op.Arg > 64 {
+		panic(fmt.Sprintf("conc: set element %d out of range 1..64", op.Arg))
+	}
+	b := uint64(1) << uint(op.Arg-1)
+	switch op.Name {
+	case spec.OpInsert:
+		return m | b, 0
+	case spec.OpRemove:
+		return m &^ b, 0
+	case spec.OpLookup:
+		if m&b != 0 {
+			return state, 1
+		}
+		return state, 0
+	default:
+		panic("conc: set: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements Object.
+func (SetObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpLookup }

@@ -1,0 +1,76 @@
+package conc_test
+
+import (
+	"testing"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// TestObjectsSoloAgainstUniversal drives every native Object through a
+// single-process universal construction and checks responses against a
+// direct sequential fold of Apply — the construction must be a transparent
+// wrapper in the absence of concurrency.
+func TestObjectsSoloAgainstUniversal(t *testing.T) {
+	cases := []struct {
+		obj conc.Object
+		ops []core.Op
+	}{
+		{conc.CounterObj{}, []core.Op{
+			{Name: spec.OpInc}, {Name: spec.OpInc}, {Name: spec.OpRead},
+			{Name: spec.OpDec}, {Name: spec.OpRead},
+		}},
+		{conc.RegisterObj{V0: 3}, []core.Op{
+			{Name: spec.OpRead}, {Name: spec.OpWrite, Arg: 7}, {Name: spec.OpRead},
+		}},
+		{conc.MaxRegisterObj{V0: 2}, []core.Op{
+			{Name: spec.OpWrite, Arg: 5}, {Name: spec.OpWrite, Arg: 3}, {Name: spec.OpRead},
+		}},
+		{conc.QueueObj{}, []core.Op{
+			{Name: spec.OpEnq, Arg: 4}, {Name: spec.OpEnq, Arg: 5}, {Name: spec.OpPeek},
+			{Name: spec.OpDeq}, {Name: spec.OpDeq}, {Name: spec.OpDeq},
+		}},
+		{conc.StackObj{}, []core.Op{
+			{Name: spec.OpPush, Arg: 4}, {Name: spec.OpPush, Arg: 5}, {Name: spec.OpTop},
+			{Name: spec.OpPop}, {Name: spec.OpPop}, {Name: spec.OpPop},
+		}},
+		{conc.SetObj{}, []core.Op{
+			{Name: spec.OpInsert, Arg: 9}, {Name: spec.OpLookup, Arg: 9},
+			{Name: spec.OpRemove, Arg: 9}, {Name: spec.OpLookup, Arg: 9},
+		}},
+	}
+	for _, tc := range cases {
+		u := conc.NewUniversal(tc.obj, 1)
+		state := tc.obj.Init()
+		for i, op := range tc.ops {
+			var want int
+			state, want = tc.obj.Apply(state, op)
+			if got := u.Apply(0, op); got != want {
+				t.Errorf("%s op %d (%v): got %d, want %d", tc.obj.Name(), i, op, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxRegisterObjAbsorbs(t *testing.T) {
+	o := conc.MaxRegisterObj{V0: 4}
+	s, _ := o.Apply(o.Init(), core.Op{Name: spec.OpWrite, Arg: 2})
+	if s.(int) != 4 {
+		t.Fatalf("smaller write changed state to %v", s)
+	}
+}
+
+func TestObjectNames(t *testing.T) {
+	objs := []conc.Object{
+		conc.CounterObj{}, conc.RegisterObj{}, conc.MaxRegisterObj{},
+		conc.QueueObj{}, conc.StackObj{}, conc.SetObj{},
+	}
+	seen := map[string]bool{}
+	for _, o := range objs {
+		if o.Name() == "" || seen[o.Name()] {
+			t.Errorf("bad or duplicate object name %q", o.Name())
+		}
+		seen[o.Name()] = true
+	}
+}

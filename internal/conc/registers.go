@@ -1,0 +1,215 @@
+package conc
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// The native SWSR K-valued registers of Section 4 over atomic int32 arrays.
+// One goroutine may write and one may read, concurrently. The memory
+// representation is the array contents, exposed via Snapshot for
+// history-independence checks at quiescent barriers.
+
+// Alg1Register is Vidyasankar's wait-free register (Algorithm 1): correct
+// but not history independent — stale 1s above the current value persist.
+type Alg1Register struct {
+	k int
+	a []int32
+}
+
+// NewAlg1Register returns a K-valued register initialized to v0.
+func NewAlg1Register(k, v0 int) *Alg1Register {
+	r := &Alg1Register{k: k, a: make([]int32, k)}
+	r.a[v0-1] = 1
+	return r
+}
+
+// Write implements Algorithm 1's Write: set A[v], clear downward.
+func (r *Alg1Register) Write(v int) {
+	atomic.StoreInt32(&r.a[v-1], 1)
+	for j := v - 1; j >= 1; j-- {
+		atomic.StoreInt32(&r.a[j-1], 0)
+	}
+}
+
+// Read implements Algorithm 1's Read: scan up to the first 1, then scan
+// down. Wait-free: at most 2K-1 loads.
+func (r *Alg1Register) Read() int {
+	j := 1
+	for atomic.LoadInt32(&r.a[j-1]) == 0 {
+		j++
+	}
+	val := j
+	for j2 := val - 1; j2 >= 1; j2-- {
+		if atomic.LoadInt32(&r.a[j2-1]) == 1 {
+			val = j2
+		}
+	}
+	return val
+}
+
+// Snapshot renders the memory representation.
+func (r *Alg1Register) Snapshot() string { return renderBits(r.a) }
+
+// Alg2Register is the lock-free state-quiescent HI register (Algorithm 2):
+// Write additionally clears upward, so the array is one-hot whenever no
+// Write is pending; Read retries TryRead and can starve under a write storm.
+type Alg2Register struct {
+	k int
+	a []int32
+}
+
+// NewAlg2Register returns a K-valued register initialized to v0.
+func NewAlg2Register(k, v0 int) *Alg2Register {
+	r := &Alg2Register{k: k, a: make([]int32, k)}
+	r.a[v0-1] = 1
+	return r
+}
+
+// Write implements Algorithm 2's Write: set A[v], clear downward, then clear
+// upward.
+func (r *Alg2Register) Write(v int) {
+	atomic.StoreInt32(&r.a[v-1], 1)
+	for j := v - 1; j >= 1; j-- {
+		atomic.StoreInt32(&r.a[j-1], 0)
+	}
+	for j := v + 1; j <= r.k; j++ {
+		atomic.StoreInt32(&r.a[j-1], 0)
+	}
+}
+
+// TryRead is Algorithm 3: one scan attempt; ok is false when no 1 was seen.
+func (r *Alg2Register) TryRead() (val int, ok bool) {
+	for j := 1; j <= r.k; j++ {
+		if atomic.LoadInt32(&r.a[j-1]) == 1 {
+			val = j
+			for j2 := val - 1; j2 >= 1; j2-- {
+				if atomic.LoadInt32(&r.a[j2-1]) == 1 {
+					val = j2
+				}
+			}
+			return val, true
+		}
+	}
+	return 0, false
+}
+
+// Read retries TryRead until it succeeds; it is lock-free, not wait-free.
+// Retries returns the number of failed attempts via the second result.
+func (r *Alg2Register) Read() (val, retries int) {
+	for {
+		if v, ok := r.TryRead(); ok {
+			return v, retries
+		}
+		retries++
+	}
+}
+
+// Snapshot renders the memory representation.
+func (r *Alg2Register) Snapshot() string { return renderBits(r.a) }
+
+// Alg4Register is the wait-free quiescent HI register (Algorithm 4): the
+// reader announces itself through flag[1] and the writer helps through the
+// array B; all helping state is cleared before operations return.
+type Alg4Register struct {
+	k       int
+	a, b    []int32
+	flag    [2]int32
+	lastVal int // writer-local
+}
+
+// NewAlg4Register returns a K-valued register initialized to v0.
+func NewAlg4Register(k, v0 int) *Alg4Register {
+	r := &Alg4Register{k: k, a: make([]int32, k), b: make([]int32, k), lastVal: v0}
+	r.a[v0-1] = 1
+	return r
+}
+
+// Write implements Algorithm 4's Write (lines 11-19).
+func (r *Alg4Register) Write(v int) {
+	allZero := true
+	for j := 1; j <= r.k; j++ { // Line 11
+		if atomic.LoadInt32(&r.b[j-1]) == 1 {
+			allZero = false
+			break
+		}
+	}
+	if allZero && atomic.LoadInt32(&r.flag[0]) == 1 { // Line 12
+		atomic.StoreInt32(&r.b[r.lastVal-1], 1) // Line 13
+		f2 := atomic.LoadInt32(&r.flag[1])      // Line 14
+		f1 := atomic.LoadInt32(&r.flag[0])
+		if f2 == 1 || f1 == 0 {
+			atomic.StoreInt32(&r.b[r.lastVal-1], 0) // Line 15
+		}
+	}
+	atomic.StoreInt32(&r.a[v-1], 1) // Line 16
+	for j := v - 1; j >= 1; j-- {   // Line 17
+		atomic.StoreInt32(&r.a[j-1], 0)
+	}
+	for j := v + 1; j <= r.k; j++ { // Line 18
+		atomic.StoreInt32(&r.a[j-1], 0)
+	}
+	r.lastVal = v // Line 19
+}
+
+// Read implements Algorithm 4's Read (lines 1-10). Wait-free: at most two
+// TryRead attempts, then the helping array is guaranteed to hold a value.
+func (r *Alg4Register) Read() int {
+	atomic.StoreInt32(&r.flag[0], 1) // Line 1
+	val := 0
+	for it := 0; it < 2 && val == 0; it++ { // Lines 2-4
+		val = r.tryRead()
+	}
+	if val == 0 { // Lines 5-6
+		for j := 1; j <= r.k; j++ {
+			if atomic.LoadInt32(&r.b[j-1]) == 1 {
+				val = j
+			}
+		}
+	}
+	atomic.StoreInt32(&r.flag[1], 1) // Line 7
+	for j := 1; j <= r.k; j++ {      // Line 8
+		atomic.StoreInt32(&r.b[j-1], 0)
+	}
+	atomic.StoreInt32(&r.flag[0], 0) // Line 9
+	atomic.StoreInt32(&r.flag[1], 0)
+	if val == 0 {
+		panic("conc: Algorithm 4 read found no value, contradicting Lemma 10")
+	}
+	return val
+}
+
+func (r *Alg4Register) tryRead() int {
+	for j := 1; j <= r.k; j++ {
+		if atomic.LoadInt32(&r.a[j-1]) == 1 {
+			val := j
+			for j2 := val - 1; j2 >= 1; j2-- {
+				if atomic.LoadInt32(&r.a[j2-1]) == 1 {
+					val = j2
+				}
+			}
+			return val
+		}
+	}
+	return 0
+}
+
+// Snapshot renders the memory representation (A, B and the flags).
+func (r *Alg4Register) Snapshot() string {
+	return fmt.Sprintf("A=%s B=%s f=%d%d",
+		renderBits(r.a), renderBits(r.b),
+		atomic.LoadInt32(&r.flag[0]), atomic.LoadInt32(&r.flag[1]))
+}
+
+func renderBits(a []int32) string {
+	var b strings.Builder
+	for i := range a {
+		if atomic.LoadInt32(&a[i]) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

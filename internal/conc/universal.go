@@ -1,0 +1,309 @@
+package conc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hiconc/internal/core"
+)
+
+// Applier is the common interface of the native universal construction and
+// its baselines: a linearizable shared object accepting abstract operations.
+// pid identifies the calling process and must be unique per concurrent
+// caller (0 <= pid < n).
+type Applier interface {
+	// Apply executes op on behalf of process pid and returns its response.
+	Apply(pid int, op core.Op) int
+	// Name identifies the implementation in benchmark output.
+	Name() string
+}
+
+// headState mirrors the paper's ⟨state, r⟩ head value: the abstract state
+// plus the response record ⟨rsp, proc⟩ (⊥ when hasRsp is false).
+type headState struct {
+	state  any
+	hasRsp bool
+	rsp    int
+	proc   int
+}
+
+type annKind int
+
+const (
+	annBot annKind = iota
+	annOp
+	annRsp
+)
+
+// annState mirrors the announce cell contents: ⊥, an operation, or a
+// response.
+type annState struct {
+	kind annKind
+	op   core.Op
+	rsp  int
+}
+
+// pad keeps per-process fields on distinct cache lines.
+type pad struct {
+	v int
+	_ [56]byte
+}
+
+// Universal is the native Algorithm 5: a wait-free, state-quiescent
+// history-independent universal construction over R-LLSC Cells. When Leaky
+// is set the clearing steps (line 28's announce reset and the red RL lines)
+// are skipped — the construction remains linearizable and wait-free but
+// retains responses and contexts, the ablation measured by experiment E12.
+type Universal struct {
+	obj   Object
+	n     int
+	leaky bool
+	head  *Cell
+	ann   []*Cell
+	prio  []pad
+}
+
+var _ Applier = (*Universal)(nil)
+
+// NewUniversal returns a fresh instance of the construction for n processes.
+func NewUniversal(obj Object, n int) *Universal {
+	return newUniversal(obj, n, false)
+}
+
+// NewLeakyUniversal returns the non-clearing ablation.
+func NewLeakyUniversal(obj Object, n int) *Universal {
+	return newUniversal(obj, n, true)
+}
+
+func newUniversal(obj Object, n int, leaky bool) *Universal {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("conc: n = %d out of range 1..64", n))
+	}
+	u := &Universal{
+		obj:   obj,
+		n:     n,
+		leaky: leaky,
+		head:  NewCell(headState{state: obj.Init()}),
+		ann:   make([]*Cell, n),
+		prio:  make([]pad, n),
+	}
+	for i := range u.ann {
+		u.ann[i] = NewCell(annState{})
+		u.prio[i].v = i
+	}
+	return u
+}
+
+// Name implements Applier.
+func (u *Universal) Name() string {
+	if u.leaky {
+		return "universal-leaky"
+	}
+	return "universal-hi"
+}
+
+// N returns the number of processes.
+func (u *Universal) N() int { return u.n }
+
+func (u *Universal) loadAnn(j int) annState { return u.ann[j].Load().(annState) }
+
+// Apply implements Applier; it is Algorithm 5's Apply/ApplyReadOnly
+// dispatch.
+func (u *Universal) Apply(pid int, op core.Op) int {
+	if u.obj.ReadOnly(op) {
+		st := u.head.Load().(headState).state
+		_, rsp := u.obj.Apply(st, op)
+		return rsp
+	}
+	return u.applyUpdate(pid, op)
+}
+
+// applyUpdate is the state-changing path (Algorithm 5 lines 4-29), with the
+// same line structure as the simulated implementation in
+// internal/universal.
+func (u *Universal) applyUpdate(i int, op core.Op) int {
+	u.ann[i].Store(annState{kind: annOp, op: op}) // Line 4
+	prio := &u.prio[i].v
+	done := func() bool { return u.loadAnn(i).kind == annRsp }
+
+	for !done() { // Line 5
+		hv, ok := u.head.LLWithAbort(i, done) // Line 6 (+6R escape)
+		if !ok {
+			break
+		}
+		h := hv.(headState)
+		if !h.hasRsp { // Line 7: mode A
+			var applyOp core.Op
+			var j int
+			if help := u.loadAnn(*prio); help.kind == annOp { // Lines 8-9
+				applyOp, j = help.op, *prio
+			} else {
+				if u.loadAnn(i).kind != annOp { // Line 11
+					continue
+				}
+				applyOp, j = op, i // Line 12
+			}
+			st, rsp := u.obj.Apply(h.state, applyOp)                                 // Line 13
+			if u.head.SC(i, headState{state: st, hasRsp: true, rsp: rsp, proc: j}) { // Line 14
+				*prio = (*prio + 1) % u.n // Line 15
+			}
+			continue
+		}
+		rsp, j := h.rsp, h.proc                 // Line 17
+		av, ok := u.ann[j].LLWithAbort(i, done) // Line 18 (+18R escape)
+		if !ok {
+			u.ann[j].RL(i) // Line 18R.2
+			break
+		}
+		a := av.(annState)
+		if u.head.VL(i) { // Line 19
+			if a.kind == annOp { // Line 20
+				u.ann[j].SC(i, annState{kind: annRsp, rsp: rsp})
+			}
+			u.head.SC(i, headState{state: h.state}) // Line 21
+		}
+		if a.kind == annBot && !u.leaky { // Line 22 (red)
+			u.ann[j].RL(i)
+		}
+	}
+
+	response := u.loadAnn(i) // Line 24
+	if response.kind != annRsp {
+		panic(fmt.Sprintf("conc: p%d reached line 24 without a response", i))
+	}
+	// Line 25 (+25R escape).
+	hv, ok := u.head.LLWithAbort(i, func() bool {
+		h := u.head.Load().(headState)
+		return !(h.hasRsp && h.proc == i)
+	})
+	if !ok {
+		if !u.leaky {
+			u.head.RL(i) // Line 27 (red)
+		}
+	} else if h := hv.(headState); h.hasRsp && h.proc == i { // Line 26
+		u.head.SC(i, headState{state: h.state})
+	} else if !u.leaky {
+		u.head.RL(i) // Line 27 (red)
+	}
+	if !u.leaky {
+		u.ann[i].Store(annState{}) // Line 28
+	}
+	return response.rsp // Line 29
+}
+
+// State returns the current abstract state (the val component of head).
+func (u *Universal) State() any { return u.head.Load().(headState).state }
+
+// Snapshot renders the logical memory representation — every cell's
+// (val, context) pair — for history-independence checks at quiescent
+// barriers.
+func (u *Universal) Snapshot() string {
+	var b strings.Builder
+	renderCell(&b, "head", u.head)
+	for i, a := range u.ann {
+		b.WriteString(" | ")
+		renderCell(&b, fmt.Sprintf("ann%d", i), a)
+	}
+	return b.String()
+}
+
+func renderCell(b *strings.Builder, name string, c *Cell) {
+	v, ctx := c.Snapshot()
+	switch t := v.(type) {
+	case headState:
+		if t.hasRsp {
+			fmt.Fprintf(b, "%s=<%v,<%d,p%d>>/ctx=%b", name, t.state, t.rsp, t.proc, ctx)
+		} else {
+			fmt.Fprintf(b, "%s=<%v,_>/ctx=%b", name, t.state, ctx)
+		}
+	case annState:
+		switch t.kind {
+		case annBot:
+			fmt.Fprintf(b, "%s=_/ctx=%b", name, ctx)
+		case annOp:
+			fmt.Fprintf(b, "%s=%v/ctx=%b", name, t.op, ctx)
+		case annRsp:
+			fmt.Fprintf(b, "%s=r%d/ctx=%b", name, t.rsp, ctx)
+		}
+	default:
+		fmt.Fprintf(b, "%s=%v/ctx=%b", name, v, ctx)
+	}
+}
+
+// CanonicalSnapshot returns the canonical memory representation of abstract
+// state q for an n-process instance: head holds ⟨q,⊥⟩ with an empty context
+// and every announce cell holds ⊥ with an empty context.
+func CanonicalSnapshot(obj Object, n int, q any) string {
+	u := newUniversal(obj, n, false)
+	u.head.Store(headState{state: q})
+	return u.Snapshot()
+}
+
+// MutexObject is the coarse-grained baseline: the abstract state behind a
+// single mutex. It is trivially history independent but blocking.
+type MutexObject struct {
+	mu    sync.Mutex
+	obj   Object
+	state any
+}
+
+var _ Applier = (*MutexObject)(nil)
+
+// NewMutexObject returns a mutex-guarded instance of obj.
+func NewMutexObject(obj Object) *MutexObject {
+	return &MutexObject{obj: obj, state: obj.Init()}
+}
+
+// Name implements Applier.
+func (m *MutexObject) Name() string { return "mutex" }
+
+// Apply implements Applier.
+func (m *MutexObject) Apply(_ int, op core.Op) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rsp int
+	m.state, rsp = m.obj.Apply(m.state, op)
+	return rsp
+}
+
+// NoHelpUniversal is the Herlihy-style lock-free baseline: a bare CAS loop
+// on the state with no announcing and no helping. It is linearizable and
+// trivially HI at quiescence (only the state is stored) but not wait-free —
+// a process can fail its CAS forever.
+type NoHelpUniversal struct {
+	obj   Object
+	state atomic.Pointer[any]
+}
+
+var _ Applier = (*NoHelpUniversal)(nil)
+
+// NewNoHelpUniversal returns a fresh lock-free baseline instance.
+func NewNoHelpUniversal(obj Object) *NoHelpUniversal {
+	l := &NoHelpUniversal{obj: obj}
+	init := obj.Init()
+	l.state.Store(&init)
+	return l
+}
+
+// Name implements Applier.
+func (l *NoHelpUniversal) Name() string { return "cas-nohelp" }
+
+// Apply implements Applier.
+func (l *NoHelpUniversal) Apply(_ int, op core.Op) int {
+	if l.obj.ReadOnly(op) {
+		_, rsp := l.obj.Apply(*l.state.Load(), op)
+		return rsp
+	}
+	for {
+		cur := l.state.Load()
+		st, rsp := l.obj.Apply(*cur, op)
+		if l.state.CompareAndSwap(cur, &st) {
+			return rsp
+		}
+	}
+}
+
+// State returns the current abstract state.
+func (l *NoHelpUniversal) State() any { return *l.state.Load() }

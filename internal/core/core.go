@@ -1,0 +1,169 @@
+// Package core defines the abstract-object model from Section 2 of
+// "History-Independent Concurrent Objects" (Attiya, Bender, Farach-Colton,
+// Oshman, Schiller; PODC 2024).
+//
+// An abstract object is a tuple (Q, q0, O, R, Δ): a set of states Q, an
+// initial state q0, a set of operations O, a set of responses R, and a
+// deterministic transition function Δ : Q × O → Q × R. The package encodes
+// states as strings (so they are comparable, hashable and printable),
+// operations as Op values, and responses as ints.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a single abstract operation o ∈ O, identified by a name and an
+// optional integer argument (for example {"write", 3} or {"deq", 0}).
+// The zero Op is not a valid operation.
+type Op struct {
+	// Name identifies the operation family (e.g. "read", "write", "enq").
+	Name string
+	// Arg is the operation argument; 0 when the operation takes none.
+	Arg int
+}
+
+// String renders the operation in the conventional form name(arg).
+func (o Op) String() string {
+	if o.Arg == 0 {
+		return o.Name + "()"
+	}
+	return fmt.Sprintf("%s(%d)", o.Name, o.Arg)
+}
+
+// Spec is a deterministic sequential specification of an abstract object.
+// Implementations must be pure: Apply must not mutate any shared state and
+// must return the same result for the same inputs.
+type Spec interface {
+	// Name identifies the object type (e.g. "register[K=4]").
+	Name() string
+
+	// Init returns the encoded initial state q0.
+	Init() string
+
+	// Apply is the transition function Δ. It returns the successor state
+	// and the response of op when applied in state.
+	Apply(state string, op Op) (next string, resp int)
+
+	// ReadOnly reports whether op is a read-only operation, i.e. there is
+	// no state q ∈ Q in which op changes the state (Section 3). Operations
+	// that change the state from at least one state are state-changing.
+	ReadOnly(op Op) bool
+
+	// Ops enumerates every operation applicable in state. For all the
+	// bounded objects in this repository the operation set is
+	// state-independent, but the signature allows state-dependent sets.
+	Ops(state string) []Op
+}
+
+// ApplySeq applies ops in order starting from state and returns the final
+// state along with the responses, in order.
+func ApplySeq(s Spec, state string, ops []Op) (string, []int) {
+	resps := make([]int, 0, len(ops))
+	for _, op := range ops {
+		var r int
+		state, r = s.Apply(state, op)
+		resps = append(resps, r)
+	}
+	return state, resps
+}
+
+// Reachable enumerates states reachable from the initial state by breadth-
+// first search, visiting at most limit states. The result is sorted for
+// determinism. It returns an error if the limit is exceeded, which usually
+// indicates an unbounded specification.
+func Reachable(s Spec, limit int) ([]string, error) {
+	seen := map[string]bool{s.Init(): true}
+	frontier := []string{s.Init()}
+	for len(frontier) > 0 {
+		var next []string
+		for _, q := range frontier {
+			for _, op := range s.Ops(q) {
+				q2, _ := s.Apply(q, op)
+				if seen[q2] {
+					continue
+				}
+				if len(seen) >= limit {
+					return nil, fmt.Errorf("core: %s has more than %d reachable states", s.Name(), limit)
+				}
+				seen[q2] = true
+				next = append(next, q2)
+			}
+		}
+		frontier = next
+	}
+	states := make([]string, 0, len(seen))
+	for q := range seen {
+		states = append(states, q)
+	}
+	sort.Strings(states)
+	return states, nil
+}
+
+// VerifyReadOnly checks that the ReadOnly flags of s are consistent with Δ
+// over all states reachable within limit: an operation flagged read-only must
+// never change the state, and an operation flagged state-changing must change
+// the state from at least one reachable state.
+func VerifyReadOnly(s Spec, limit int) error {
+	states, err := Reachable(s, limit)
+	if err != nil {
+		return err
+	}
+	changes := map[Op]bool{}
+	for _, q := range states {
+		for _, op := range s.Ops(q) {
+			q2, _ := s.Apply(q, op)
+			if q2 != q {
+				if s.ReadOnly(op) {
+					return fmt.Errorf("core: %s: read-only op %v changes state %q -> %q", s.Name(), op, q, q2)
+				}
+				changes[op] = true
+			}
+		}
+	}
+	for _, q := range states {
+		for _, op := range s.Ops(q) {
+			if !s.ReadOnly(op) && !changes[op] {
+				return fmt.Errorf("core: %s: op %v flagged state-changing but never changes any reachable state", s.Name(), op)
+			}
+		}
+	}
+	return nil
+}
+
+// Reversible reports whether every reachable state can reach every other
+// reachable state (the paper's notion of a reversible object, footnote 1).
+// It explores at most limit states.
+func Reversible(s Spec, limit int) (bool, error) {
+	states, err := Reachable(s, limit)
+	if err != nil {
+		return false, err
+	}
+	index := make(map[string]int, len(states))
+	for i, q := range states {
+		index[q] = i
+	}
+	// Floyd-Warshall-style reachability via BFS from every state.
+	for _, from := range states {
+		seen := map[string]bool{from: true}
+		frontier := []string{from}
+		for len(frontier) > 0 {
+			var next []string
+			for _, q := range frontier {
+				for _, op := range s.Ops(q) {
+					q2, _ := s.Apply(q, op)
+					if !seen[q2] {
+						seen[q2] = true
+						next = append(next, q2)
+					}
+				}
+			}
+			frontier = next
+		}
+		if len(seen) != len(states) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+func TestApplySeq(t *testing.T) {
+	r := spec.NewRegister(4, 1)
+	state, resps := core.ApplySeq(r, r.Init(), []core.Op{
+		{Name: spec.OpWrite, Arg: 3},
+		{Name: spec.OpRead},
+		{Name: spec.OpWrite, Arg: 2},
+		{Name: spec.OpRead},
+	})
+	if state != "2" {
+		t.Errorf("final state = %q, want %q", state, "2")
+	}
+	want := []int{0, 3, 0, 2}
+	for i, r := range resps {
+		if r != want[i] {
+			t.Errorf("resp[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+}
+
+func TestReachableRegister(t *testing.T) {
+	r := spec.NewRegister(5, 2)
+	states, err := core.Reachable(r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 5 {
+		t.Errorf("register reachable states = %d, want 5", len(states))
+	}
+}
+
+func TestReachableQueue(t *testing.T) {
+	q := spec.NewQueue(2, 2)
+	states, err := core.Reachable(q, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty + 2 singletons + 4 pairs = 7 states.
+	if len(states) != 7 {
+		t.Errorf("queue reachable states = %d, want 7: %v", len(states), states)
+	}
+}
+
+func TestReachableLimit(t *testing.T) {
+	q := spec.NewQueue(3, 3)
+	if _, err := core.Reachable(q, 5); err == nil {
+		t.Error("Reachable with tiny limit should fail")
+	}
+}
+
+func TestVerifyReadOnly(t *testing.T) {
+	for _, s := range []core.Spec{
+		spec.NewRegister(4, 1),
+		spec.NewMaxRegister(4, 1),
+		spec.NewCounter(3, 0),
+		spec.NewQueue(2, 3),
+		spec.NewStack(2, 3),
+		spec.NewSet(3),
+	} {
+		if err := core.VerifyReadOnly(s, 10000); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestReversible(t *testing.T) {
+	cases := []struct {
+		spec core.Spec
+		want bool
+	}{
+		{spec.NewRegister(3, 1), true},     // registers are reversible
+		{spec.NewMaxRegister(3, 1), false}, // max registers are not (footnote 1)
+		{spec.NewCounter(3, 0), true},
+		{spec.NewSet(3), true},
+		{spec.NewQueue(2, 2), true},
+	}
+	for _, tc := range cases {
+		got, err := core.Reversible(tc.spec, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec.Name(), err)
+		}
+		if got != tc.want {
+			t.Errorf("Reversible(%s) = %v, want %v", tc.spec.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if got := (core.Op{Name: "write", Arg: 3}).String(); got != "write(3)" {
+		t.Errorf("Op.String() = %q", got)
+	}
+	if got := (core.Op{Name: "read"}).String(); got != "read()" {
+		t.Errorf("Op.String() = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+// Package harness bundles a concurrent implementation with its sequential
+// specification and the roles of its processes, so that checkers, fuzzers
+// and adversaries can drive any implementation uniformly.
+package harness
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/sim"
+)
+
+// Harness describes one implementation under test.
+type Harness struct {
+	// Name identifies the implementation (e.g. "alg2").
+	Name string
+	// Spec is the sequential specification of the implemented object.
+	Spec core.Spec
+	// ProcOps lists, per process, the operations that process may invoke.
+	// Its length is the number of processes.
+	ProcOps [][]core.Op
+	// Build constructs a fresh runner in which process i draws its
+	// operations from srcs[i].
+	Build func(srcs []OpSource) *sim.Runner
+}
+
+// BuildScripts constructs a runner in which process i executes the fixed
+// script scripts[i].
+func (h *Harness) BuildScripts(scripts [][]core.Op) *sim.Runner {
+	return h.Build(SliceSources(scripts))
+}
+
+// NumProcs returns the number of processes of the implementation.
+func (h *Harness) NumProcs() int { return len(h.ProcOps) }
+
+// Validate checks that every script entry is permitted for its process.
+func (h *Harness) Validate(scripts [][]core.Op) error {
+	if len(scripts) != h.NumProcs() {
+		return fmt.Errorf("harness %s: %d scripts for %d processes", h.Name, len(scripts), h.NumProcs())
+	}
+	for pid, script := range scripts {
+		for _, op := range script {
+			if !h.CanRun(pid, op) {
+				return fmt.Errorf("harness %s: process %d cannot run %v", h.Name, pid, op)
+			}
+		}
+	}
+	return nil
+}
+
+// CanRun reports whether process pid may invoke op.
+func (h *Harness) CanRun(pid int, op core.Op) bool {
+	for _, o := range h.ProcOps[pid] {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Builder returns a sim.Builder running the given scripts.
+func (h *Harness) Builder(scripts [][]core.Op) sim.Builder {
+	return func() *sim.Runner { return h.BuildScripts(scripts) }
+}
+
+// StateChangingOps returns all state-changing operations any process may run,
+// de-duplicated, in a deterministic order.
+func (h *Harness) StateChangingOps() []core.Op {
+	seen := map[core.Op]bool{}
+	var out []core.Op
+	for _, ops := range h.ProcOps {
+		for _, op := range ops {
+			if !h.Spec.ReadOnly(op) && !seen[op] {
+				seen[op] = true
+				out = append(out, op)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package harness_test
+
+import (
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+var (
+	rd = core.Op{Name: spec.OpRead}
+	w  = func(v int) core.Op { return core.Op{Name: spec.OpWrite, Arg: v} }
+)
+
+func TestValidate(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	if err := h.Validate([][]core.Op{{w(1), w(3)}, {rd}}); err != nil {
+		t.Errorf("valid scripts rejected: %v", err)
+	}
+	if err := h.Validate([][]core.Op{{rd}, {rd}}); err == nil {
+		t.Error("writer running read() should be rejected")
+	}
+	if err := h.Validate([][]core.Op{{w(1)}}); err == nil {
+		t.Error("wrong script count should be rejected")
+	}
+	if err := h.Validate([][]core.Op{{w(9)}, {rd}}); err == nil {
+		t.Error("out-of-domain write should be rejected")
+	}
+}
+
+func TestCanRunAndStateChangingOps(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	if !h.CanRun(0, w(2)) || h.CanRun(0, rd) {
+		t.Error("writer role wrong")
+	}
+	if !h.CanRun(1, rd) || h.CanRun(1, w(1)) {
+		t.Error("reader role wrong")
+	}
+	sc := h.StateChangingOps()
+	if len(sc) != 3 {
+		t.Errorf("state-changing ops = %v, want the 3 writes", sc)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := harness.NewSliceSource([]core.Op{w(1), w(2)})
+	if op, ok := src.Next(nil); !ok || op != w(1) {
+		t.Fatalf("first = %v, %v", op, ok)
+	}
+	if op, ok := src.Next(nil); !ok || op != w(2) {
+		t.Fatalf("second = %v, %v", op, ok)
+	}
+	if _, ok := src.Next(nil); ok {
+		t.Fatal("exhausted source should report ok = false")
+	}
+}
+
+func TestFeedDrivesPausedProcess(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	feed := harness.NewFeed()
+	r := h.Build([]harness.OpSource{feed, harness.NewSliceSource(nil)})
+	r.Start()
+	defer r.Stop()
+	// The writer parks on the empty feed.
+	if got := r.Paused(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("paused = %v", got)
+	}
+	feed.Push(w(2))
+	r.Resume(0)
+	for {
+		if _, ok := r.PendingPrim(0); !ok {
+			break
+		}
+		r.Step(0)
+	}
+	if got := len(r.Trace().Responses(0)); got != 1 {
+		t.Fatalf("writer completed %d ops", got)
+	}
+	// Back to parked; closing the feed finishes the process.
+	feed.Close()
+	r.Resume(0)
+	for {
+		if _, ok := r.PendingPrim(0); !ok {
+			break
+		}
+		r.Step(0)
+	}
+	if !r.ProcDone(0) {
+		t.Fatal("writer should be done after the feed closed")
+	}
+}
+
+func TestBuilderIsFresh(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	build := h.Builder([][]core.Op{{w(2)}, nil})
+	t1 := build().Run(&sim.RoundRobin{}, 100)
+	t2 := build().Run(&sim.RoundRobin{}, 100)
+	if sim.Fingerprint(t1.MemAt(len(t1.Steps))) != sim.Fingerprint(t2.MemAt(len(t2.Steps))) {
+		t.Fatal("two builds of the same scripts diverged")
+	}
+}

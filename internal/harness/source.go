@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"sync"
+
+	"hiconc/internal/core"
+	"hiconc/internal/sim"
+)
+
+// OpSource supplies a process's operations one at a time. Fixed scripts use
+// SliceSource; adaptive drivers (such as the Theorem 17 adversary, which
+// chooses the changer's next operation based on the reader's position) use
+// Feed, which pauses the process while no operation is available.
+type OpSource interface {
+	// Next returns the process's next operation; ok is false when the
+	// process should finish. Implementations may park the process via p.
+	Next(p *sim.Proc) (op core.Op, ok bool)
+}
+
+// SliceSource is a fixed operation script.
+type SliceSource struct {
+	ops []core.Op
+	idx int
+}
+
+var _ OpSource = (*SliceSource)(nil)
+
+// NewSliceSource returns a source yielding ops in order.
+func NewSliceSource(ops []core.Op) *SliceSource {
+	return &SliceSource{ops: ops}
+}
+
+// Next implements OpSource.
+func (s *SliceSource) Next(*sim.Proc) (core.Op, bool) {
+	if s.idx >= len(s.ops) {
+		return core.Op{}, false
+	}
+	op := s.ops[s.idx]
+	s.idx++
+	return op, true
+}
+
+// SliceSources wraps per-process scripts as sources.
+func SliceSources(scripts [][]core.Op) []OpSource {
+	srcs := make([]OpSource, len(scripts))
+	for i, script := range scripts {
+		srcs[i] = NewSliceSource(script)
+	}
+	return srcs
+}
+
+// Feed is an adaptive operation source. The driver pushes operations from
+// outside the runner between steps; while the feed is empty the process
+// pauses (leaving the runnable set) until the driver resumes it. The mutex
+// makes the handoff race-detector clean even though pushes and reads are
+// already serialized by the runner's lock-step protocol.
+type Feed struct {
+	mu     sync.Mutex
+	ops    []core.Op
+	closed bool
+}
+
+var _ OpSource = (*Feed)(nil)
+
+// NewFeed returns an empty feed.
+func NewFeed() *Feed { return &Feed{} }
+
+// Push appends operations for the process to execute.
+func (f *Feed) Push(ops ...core.Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		panic("harness: Push on a closed Feed")
+	}
+	f.ops = append(f.ops, ops...)
+}
+
+// Close marks the feed exhausted: once drained, the process finishes.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+}
+
+// Next implements OpSource.
+func (f *Feed) Next(p *sim.Proc) (core.Op, bool) {
+	for {
+		f.mu.Lock()
+		if len(f.ops) > 0 {
+			op := f.ops[0]
+			f.ops = f.ops[1:]
+			f.mu.Unlock()
+			return op, true
+		}
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			return core.Op{}, false
+		}
+		p.Pause()
+	}
+}

@@ -1,0 +1,32 @@
+package hicheck_test
+
+import (
+	"fmt"
+
+	"hiconc/internal/hicheck"
+	"hiconc/internal/registers"
+)
+
+// BuildCanon enumerates bounded sequential executions and derives the
+// canonical memory representation of every reachable state; for Algorithm 2
+// the representation of value v is the one-hot array A with A[v] = 1.
+func ExampleBuildCanon() {
+	h := registers.NewAlg2(3, 1)
+	canon, err := hicheck.BuildCanon(h, 2, 400)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(canon.ByState["2"])
+	// Output: [0 1 0]
+}
+
+// Algorithm 1 fails already on sequential executions: Write(2);Write(1)
+// and Write(1) reach the same state with different memories.
+func ExampleBuildCanon_violation() {
+	h := registers.NewAlg1(3, 1)
+	_, err := hicheck.BuildCanon(h, 2, 400)
+	if v, ok := err.(*hicheck.SeqHIViolation); ok {
+		fmt.Println("state:", v.State)
+	}
+	// Output: state: 1
+}

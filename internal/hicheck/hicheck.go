@@ -1,0 +1,316 @@
+// Package hicheck verifies history independence of concurrent
+// implementations, following the paper's definitions:
+//
+//   - Definition 4 parameterizes HI by the set of executions at whose final
+//     configurations the observer may inspect the memory.
+//   - Perfect HI (Definition 5) admits every configuration; state-quiescent
+//     HI (Definition 7) admits configurations with no pending state-changing
+//     operation; quiescent HI (Definition 8) admits configurations with no
+//     pending operation at all.
+//
+// Checking proceeds in two phases. BuildCanon enumerates sequential
+// executions and derives the canonical memory representation can(q) of every
+// reachable state (for deterministic implementations, HI forces a canonical
+// representation — Proposition 3). CheckTrace then verifies concurrent
+// executions: at every observed configuration the memory must equal can(q)
+// for a state q consistent with some linearization of the execution so far.
+package hicheck
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/linearize"
+	"hiconc/internal/sim"
+)
+
+// ObsClass selects the observation class of Definition 4.
+type ObsClass int
+
+// Observation classes, strongest first.
+const (
+	// Perfect admits every configuration (Definition 5).
+	Perfect ObsClass = iota + 1
+	// StateQuiescent admits configurations with no pending state-changing
+	// operation (Definition 7).
+	StateQuiescent
+	// Quiescent admits configurations with no pending operation
+	// (Definition 8).
+	Quiescent
+)
+
+// String implements fmt.Stringer.
+func (c ObsClass) String() string {
+	switch c {
+	case Perfect:
+		return "perfect"
+	case StateQuiescent:
+		return "state-quiescent"
+	case Quiescent:
+		return "quiescent"
+	default:
+		return fmt.Sprintf("obs-class(%d)", int(c))
+	}
+}
+
+// Admits reports whether the class admits the configuration.
+func (c ObsClass) Admits(cfg sim.Config) bool {
+	switch c {
+	case Perfect:
+		return true
+	case StateQuiescent:
+		return cfg.StateQuiescent()
+	case Quiescent:
+		return cfg.Quiescent()
+	default:
+		panic("hicheck: unknown observation class")
+	}
+}
+
+// ProcOp is an operation tagged with the process that runs it; a sequence of
+// ProcOps describes a sequential execution.
+type ProcOp struct {
+	PID int
+	Op  core.Op
+}
+
+// String implements fmt.Stringer.
+func (po ProcOp) String() string { return fmt.Sprintf("p%d:%v", po.PID, po.Op) }
+
+func renderSeq(seq []ProcOp) string {
+	parts := make([]string, len(seq))
+	for i, po := range seq {
+		parts[i] = po.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Canon is the canonical-representation map of an implementation: for every
+// abstract state reached by some bounded sequential execution, the unique
+// memory representation left by all such executions.
+type Canon struct {
+	// Spec is the sequential specification.
+	Spec core.Spec
+	// ByState maps an abstract state to its canonical memory snapshot.
+	ByState map[string][]string
+	// ByMem maps a memory fingerprint back to the abstract state it
+	// canonically represents.
+	ByMem map[string]string
+	// witness remembers one sequence per state, for error reporting.
+	witness map[string][]ProcOp
+}
+
+// SeqHIViolation reports two sequential executions that reach the same
+// abstract state but leave different memory representations — a violation of
+// sequential (weak = strong, by Proposition 3) history independence.
+type SeqHIViolation struct {
+	State      string
+	Seq1, Seq2 []ProcOp
+	Mem1, Mem2 []string
+}
+
+// Error implements the error interface.
+func (v *SeqHIViolation) Error() string {
+	return fmt.Sprintf(
+		"sequential HI violation: state %q has two representations\n  seq1: %s\n  mem1: %s\n  seq2: %s\n  mem2: %s",
+		v.State, renderSeq(v.Seq1), sim.Fingerprint(v.Mem1), renderSeq(v.Seq2), sim.Fingerprint(v.Mem2))
+}
+
+// BuildCanon enumerates every sequential execution of up to maxOps
+// operations (each operation chosen from any process's permitted set, run to
+// completion before the next starts) and builds the canonical map. It
+// returns a *SeqHIViolation as the error if two executions reaching the same
+// state leave different memories, and a plain error if a sequential run
+// misbehaves (wrong response or no termination within maxSteps).
+func BuildCanon(h *harness.Harness, maxOps, maxSteps int) (*Canon, error) {
+	c := &Canon{
+		Spec:    h.Spec,
+		ByState: map[string][]string{},
+		ByMem:   map[string]string{},
+		witness: map[string][]ProcOp{},
+	}
+	var rec func(seq []ProcOp) error
+	rec = func(seq []ProcOp) error {
+		if err := c.addSequential(h, seq, maxSteps); err != nil {
+			return err
+		}
+		if len(seq) == maxOps {
+			return nil
+		}
+		for pid := 0; pid < h.NumProcs(); pid++ {
+			for _, op := range h.ProcOps[pid] {
+				next := append(seq[:len(seq):len(seq)], ProcOp{PID: pid, Op: op})
+				if err := rec(next); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := rec(nil); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// addSequential runs one sequential execution and records/checks its final
+// memory representation.
+func (c *Canon) addSequential(h *harness.Harness, seq []ProcOp, maxSteps int) error {
+	scripts := make([][]core.Op, h.NumProcs())
+	order := make([]int, len(seq))
+	ops := make([]core.Op, len(seq))
+	for i, po := range seq {
+		scripts[po.PID] = append(scripts[po.PID], po.Op)
+		order[i] = po.PID
+		ops[i] = po.Op
+	}
+	t := sim.SequentialOps(h.Builder(scripts), maxSteps, func(opIdx int, _ []int) int {
+		if opIdx < len(order) {
+			return order[opIdx]
+		}
+		panic("hicheck: sequential run exceeded its operation sequence")
+	})
+	if t.Truncated {
+		return fmt.Errorf("hicheck: %s: sequential execution %s did not finish within %d steps",
+			h.Name, renderSeq(seq), maxSteps)
+	}
+	// Check responses against the specification.
+	wantState, wantResps := core.ApplySeq(c.Spec, c.Spec.Init(), ops)
+	got := t.CompletedOps(-1)
+	if len(got) != len(seq) {
+		return fmt.Errorf("hicheck: %s: sequential execution %s completed %d of %d ops",
+			h.Name, renderSeq(seq), len(got), len(seq))
+	}
+	respIdx := 0
+	for _, ev := range t.Events {
+		if ev.Kind != sim.EvReturn {
+			continue
+		}
+		if ev.Resp != wantResps[respIdx] {
+			return fmt.Errorf("hicheck: %s: sequential execution %s: op %v returned %d, want %d",
+				h.Name, renderSeq(seq), ev.Op, ev.Resp, wantResps[respIdx])
+		}
+		respIdx++
+	}
+	mem := t.MemAt(len(t.Steps))
+	fp := sim.Fingerprint(mem)
+	if prev, ok := c.ByState[wantState]; ok {
+		if sim.Fingerprint(prev) != fp {
+			return &SeqHIViolation{
+				State: wantState,
+				Seq1:  c.witness[wantState], Mem1: prev,
+				Seq2: seq, Mem2: mem,
+			}
+		}
+		return nil
+	}
+	if owner, ok := c.ByMem[fp]; ok && owner != wantState {
+		return fmt.Errorf("hicheck: %s: memory %q represents both state %q and state %q",
+			h.Name, fp, owner, wantState)
+	}
+	c.ByState[wantState] = mem
+	c.ByMem[fp] = wantState
+	c.witness[wantState] = seq
+	return nil
+}
+
+// MaxCanonDistance returns the largest Hamming distance between the
+// canonical representations of two states adjacent under a single
+// state-changing operation. Proposition 6 shows perfect HI requires this to
+// be at most 1.
+func (c *Canon) MaxCanonDistance() int {
+	max := 0
+	for state, mem := range c.ByState {
+		for _, op := range c.Spec.Ops(state) {
+			next, _ := c.Spec.Apply(state, op)
+			if next == state {
+				continue
+			}
+			if mem2, ok := c.ByState[next]; ok {
+				if d := sim.Distance(mem, mem2); d > max {
+					max = d
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Violation reports a concurrent configuration whose memory representation
+// is not the canonical representation of a consistent abstract state.
+type Violation struct {
+	// Class is the observation class under which the violation occurred.
+	Class ObsClass
+	// ConfigIndex is the configuration C_k at which it was observed.
+	ConfigIndex int
+	// Mem is the offending memory representation.
+	Mem []string
+	// Reason describes the failure.
+	Reason string
+	// Trace is the offending execution.
+	Trace *sim.Trace
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%v HI violation at C_%d: %s\n  mem: %s",
+		v.Class, v.ConfigIndex, v.Reason, sim.Fingerprint(v.Mem))
+}
+
+// CheckTrace verifies one execution against the canonical map under the
+// given observation class: for every admitted configuration, the memory must
+// be the canonical representation of some abstract state consistent with a
+// linearization of the execution prefix. It returns a *Violation on failure.
+func CheckTrace(c *Canon, t *sim.Trace, class ObsClass) error {
+	configs := t.Configs()
+	for _, cfg := range configs {
+		if !class.Admits(cfg) {
+			continue
+		}
+		fp := sim.Fingerprint(cfg.Mem)
+		state, ok := c.ByMem[fp]
+		if !ok {
+			return &Violation{
+				Class: class, ConfigIndex: cfg.Index, Mem: cfg.Mem, Trace: t,
+				Reason: "memory is not the canonical representation of any state",
+			}
+		}
+		candidates := linearize.FinalStates(c.Spec, prefixEvents(t, cfg.Index))
+		if len(candidates) == 0 {
+			return &Violation{
+				Class: class, ConfigIndex: cfg.Index, Mem: cfg.Mem, Trace: t,
+				Reason: "execution prefix is not linearizable",
+			}
+		}
+		if !candidates[state] {
+			return &Violation{
+				Class: class, ConfigIndex: cfg.Index, Mem: cfg.Mem, Trace: t,
+				Reason: fmt.Sprintf("memory canonically represents state %q, which no linearization of the prefix reaches (candidates: %v)",
+					state, keys(candidates)),
+			}
+		}
+	}
+	return nil
+}
+
+// prefixEvents returns the events of the execution prefix ending at
+// configuration C_k, preserving order.
+func prefixEvents(t *sim.Trace, k int) []sim.Event {
+	var out []sim.Event
+	for _, ev := range t.Events {
+		if ev.StepIndex <= k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

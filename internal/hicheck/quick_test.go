@@ -1,0 +1,93 @@
+package hicheck_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+)
+
+// TestQuickAlg2CanonicalUnderRandomHistories: for any random write sequence,
+// the memory left by Algorithm 2 depends only on the final value — the
+// canonical-representation property of Proposition 3 checked directly.
+func TestQuickAlg2CanonicalUnderRandomHistories(t *testing.T) {
+	const k = 4
+	h := registers.NewAlg2(k, 1)
+	run := func(writes []core.Op) ([]string, string) {
+		tr := h.BuildScripts([][]core.Op{writes, nil}).Run(&sim.RoundRobin{}, 10000)
+		state := "1"
+		if len(writes) > 0 {
+			state, _ = core.ApplySeq(h.Spec, h.Spec.Init(), writes)
+		}
+		return tr.MemAt(len(tr.Steps)), state
+	}
+	byState := map[string]string{}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		writes := make([]core.Op, int(n%12))
+		for i := range writes {
+			writes[i] = core.Op{Name: "write", Arg: rng.Intn(k) + 1}
+		}
+		mem, state := run(writes)
+		fp := sim.Fingerprint(mem)
+		if prev, ok := byState[state]; ok {
+			return prev == fp
+		}
+		byState[state] = fp
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAlg4CanonicalWithReads: the same property for Algorithm 4, with
+// interleaved (sequential) reads thrown in — reads must not perturb the
+// canonical memory either.
+func TestQuickAlg4CanonicalWithReads(t *testing.T) {
+	const k = 3
+	h := registers.NewAlg4(k, 2)
+	byState := map[string]string{}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var writes, reads []core.Op
+		var all []hicheck.ProcOp
+		for i := 0; i < int(n%10); i++ {
+			if rng.Intn(3) == 0 {
+				reads = append(reads, core.Op{Name: "read"})
+				all = append(all, hicheck.ProcOp{PID: 1, Op: core.Op{Name: "read"}})
+			} else {
+				op := core.Op{Name: "write", Arg: rng.Intn(k) + 1}
+				writes = append(writes, op)
+				all = append(all, hicheck.ProcOp{PID: 0, Op: op})
+			}
+		}
+		order := make([]int, len(all))
+		for i, po := range all {
+			order[i] = po.PID
+		}
+		tr := sim.SequentialOps(h.Builder([][]core.Op{writes, reads}), 10000, func(opIdx int, _ []int) int {
+			return order[opIdx]
+		})
+		if tr.Truncated {
+			return false
+		}
+		state := h.Spec.Init()
+		for _, w := range writes {
+			state, _ = h.Spec.Apply(state, w)
+		}
+		fp := sim.Fingerprint(tr.MemAt(len(tr.Steps)))
+		if prev, ok := byState[state]; ok {
+			return prev == fp
+		}
+		byState[state] = fp
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

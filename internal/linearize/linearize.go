@@ -1,0 +1,186 @@
+// Package linearize checks histories against sequential specifications
+// (Herlihy–Wing linearizability, Section 2 of the paper) using a Wing–Gong
+// style search with memoization.
+package linearize
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/core"
+	"hiconc/internal/sim"
+)
+
+// OpRecord is one high-level operation extracted from a history.
+type OpRecord struct {
+	// PID is the invoking process; OpIndex numbers its operations.
+	PID, OpIndex int
+	// Op is the abstract operation.
+	Op core.Op
+	// Resp is the response (meaningful only when Completed).
+	Resp int
+	// Completed reports whether the operation returned in the history.
+	Completed bool
+	// Inv and Ret are positions in the event list; Ret is len(events) for
+	// pending operations. An operation a precedes b in real time iff
+	// a.Ret < b.Inv.
+	Inv, Ret int
+}
+
+// String renders the record for diagnostics.
+func (r OpRecord) String() string {
+	if r.Completed {
+		return fmt.Sprintf("p%d:%v=>%d", r.PID, r.Op, r.Resp)
+	}
+	return fmt.Sprintf("p%d:%v=>pending", r.PID, r.Op)
+}
+
+// FromEvents pairs invocation and response events into operation records.
+func FromEvents(events []sim.Event) []OpRecord {
+	type key struct{ pid, opIdx int }
+	index := map[key]int{}
+	var recs []OpRecord
+	for i, ev := range events {
+		k := key{ev.PID, ev.OpIndex}
+		switch ev.Kind {
+		case sim.EvInvoke:
+			index[k] = len(recs)
+			recs = append(recs, OpRecord{
+				PID: ev.PID, OpIndex: ev.OpIndex, Op: ev.Op,
+				Inv: i, Ret: len(events),
+			})
+		case sim.EvReturn:
+			j, ok := index[k]
+			if !ok {
+				panic(fmt.Sprintf("linearize: return without invoke (p%d op %d)", ev.PID, ev.OpIndex))
+			}
+			recs[j].Completed = true
+			recs[j].Resp = ev.Resp
+			recs[j].Ret = i
+		}
+	}
+	return recs
+}
+
+// memoKey identifies a search node: which operations have been linearized
+// and the abstract state reached.
+type memoKey struct {
+	mask  uint64
+	state string
+}
+
+type searcher struct {
+	spec core.Spec
+	recs []OpRecord
+	memo map[memoKey]bool
+	// completed is the mask of completed operations; success requires
+	// linearizing all of them (pending operations are optional).
+	completed uint64
+	// collect, when non-nil, receives every state reachable at a node
+	// where all completed operations have been linearized.
+	collect map[string]bool
+}
+
+// eligible reports whether op i can be linearized next given mask: i is not
+// yet linearized and no unlinearized operation returned before i's
+// invocation.
+func (s *searcher) eligible(i int, mask uint64) bool {
+	if mask&(1<<uint(i)) != 0 {
+		return false
+	}
+	for j, r := range s.recs {
+		if j == i || mask&(1<<uint(j)) != 0 {
+			continue
+		}
+		if r.Ret < s.recs[i].Inv {
+			return false
+		}
+	}
+	return true
+}
+
+// search explores linearizations from (mask, state); it returns true if some
+// extension linearizes every completed operation. When collecting final
+// states it always explores exhaustively.
+func (s *searcher) search(mask uint64, state string) bool {
+	k := memoKey{mask, state}
+	if done, ok := s.memo[k]; ok {
+		return done
+	}
+	ok := false
+	if mask&s.completed == s.completed {
+		ok = true
+		if s.collect != nil {
+			s.collect[state] = true
+		}
+	}
+	for i, r := range s.recs {
+		if !s.eligible(i, mask) {
+			continue
+		}
+		next, resp := s.spec.Apply(state, r.Op)
+		if r.Completed && resp != r.Resp {
+			continue
+		}
+		if s.search(mask|1<<uint(i), next) {
+			ok = true
+			if s.collect == nil {
+				break // existence is enough
+			}
+		}
+	}
+	s.memo[k] = ok
+	return ok
+}
+
+// Check reports whether the history given by events is linearizable with
+// respect to spec; it returns nil on success and a descriptive error
+// otherwise. At most 64 operations are supported.
+func Check(spec core.Spec, events []sim.Event) error {
+	recs := FromEvents(events)
+	if len(recs) > 64 {
+		return fmt.Errorf("linearize: history too large (%d ops)", len(recs))
+	}
+	s := &searcher{spec: spec, recs: recs, memo: map[memoKey]bool{}}
+	for i, r := range recs {
+		if r.Completed {
+			s.completed |= 1 << uint(i)
+		}
+	}
+	if s.search(0, spec.Init()) {
+		return nil
+	}
+	return fmt.Errorf("linearize: history not linearizable for %s:\n%s", spec.Name(), Render(recs))
+}
+
+// FinalStates returns every abstract state in which some linearization of
+// the history can end: all completed operations are linearized (with
+// matching responses) and pending operations may be linearized or dropped.
+// The result is empty iff the history is not linearizable.
+func FinalStates(spec core.Spec, events []sim.Event) map[string]bool {
+	recs := FromEvents(events)
+	if len(recs) > 64 {
+		panic(fmt.Sprintf("linearize: history too large (%d ops)", len(recs)))
+	}
+	s := &searcher{
+		spec: spec, recs: recs,
+		memo:    map[memoKey]bool{},
+		collect: map[string]bool{},
+	}
+	for i, r := range recs {
+		if r.Completed {
+			s.completed |= 1 << uint(i)
+		}
+	}
+	s.search(0, spec.Init())
+	return s.collect
+}
+
+// Render formats operation records one per line, for error messages.
+func Render(recs []OpRecord) string {
+	var b strings.Builder
+	for _, r := range recs {
+		fmt.Fprintf(&b, "  %v [inv@%d ret@%d]\n", r, r.Inv, r.Ret)
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package linearize_test
+
+import (
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/linearize"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// ev builds a history event.
+func inv(pid, opIdx int, op core.Op, sc bool, step int) sim.Event {
+	return sim.Event{Kind: sim.EvInvoke, PID: pid, OpIndex: opIdx, Op: op, StateChanging: sc, StepIndex: step}
+}
+
+func ret(pid, opIdx int, op core.Op, sc bool, resp, step int) sim.Event {
+	return sim.Event{Kind: sim.EvReturn, PID: pid, OpIndex: opIdx, Op: op, StateChanging: sc, Resp: resp, StepIndex: step}
+}
+
+var (
+	rd = core.Op{Name: spec.OpRead}
+	w  = func(v int) core.Op { return core.Op{Name: spec.OpWrite, Arg: v} }
+)
+
+func TestSequentialHistory(t *testing.T) {
+	s := spec.NewRegister(3, 1)
+	events := []sim.Event{
+		inv(0, 0, w(2), true, 1), ret(0, 0, w(2), true, 0, 2),
+		inv(1, 0, rd, false, 3), ret(1, 0, rd, false, 2, 4),
+	}
+	if err := linearize.Check(s, events); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	s := spec.NewRegister(3, 1)
+	// Write(2) completes strictly before a read that returns the old value.
+	events := []sim.Event{
+		inv(0, 0, w(2), true, 1), ret(0, 0, w(2), true, 0, 2),
+		inv(1, 0, rd, false, 3), ret(1, 0, rd, false, 1, 4),
+	}
+	if err := linearize.Check(s, events); err == nil {
+		t.Error("stale read should not be linearizable")
+	}
+}
+
+func TestOverlappingReadMayReturnEitherValue(t *testing.T) {
+	s := spec.NewRegister(3, 1)
+	for _, resp := range []int{1, 2} {
+		events := []sim.Event{
+			inv(0, 0, w(2), true, 1),
+			inv(1, 0, rd, false, 1),
+			ret(1, 0, rd, false, resp, 2),
+			ret(0, 0, w(2), true, 0, 3),
+		}
+		if err := linearize.Check(s, events); err != nil {
+			t.Errorf("read overlapping write returning %d: %v", resp, err)
+		}
+	}
+	// But not a value never written.
+	events := []sim.Event{
+		inv(0, 0, w(2), true, 1),
+		inv(1, 0, rd, false, 1),
+		ret(1, 0, rd, false, 3, 2),
+		ret(0, 0, w(2), true, 0, 3),
+	}
+	if err := linearize.Check(s, events); err == nil {
+		t.Error("read of unwritten value should not be linearizable")
+	}
+}
+
+func TestPendingOpMayTakeEffect(t *testing.T) {
+	s := spec.NewRegister(3, 1)
+	// A pending write whose value is observed by a completed read: the
+	// write must be linearized even though it never returned.
+	events := []sim.Event{
+		inv(0, 0, w(3), true, 1),
+		inv(1, 0, rd, false, 2),
+		ret(1, 0, rd, false, 3, 3),
+	}
+	if err := linearize.Check(s, events); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPendingOpMayBeDropped(t *testing.T) {
+	s := spec.NewRegister(3, 1)
+	events := []sim.Event{
+		inv(0, 0, w(3), true, 1),
+		inv(1, 0, rd, false, 2),
+		ret(1, 0, rd, false, 1, 3),
+	}
+	if err := linearize.Check(s, events); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	s := spec.NewQueue(3, 3)
+	enq := func(v int) core.Op { return core.Op{Name: spec.OpEnq, Arg: v} }
+	deq := core.Op{Name: spec.OpDeq}
+	ok := []sim.Event{
+		inv(0, 0, enq(1), true, 1), ret(0, 0, enq(1), true, 0, 2),
+		inv(0, 1, enq(2), true, 3), ret(0, 1, enq(2), true, 0, 4),
+		inv(1, 0, deq, true, 5), ret(1, 0, deq, true, 1, 6),
+		inv(1, 1, deq, true, 7), ret(1, 1, deq, true, 2, 8),
+	}
+	if err := linearize.Check(s, ok); err != nil {
+		t.Error(err)
+	}
+	bad := []sim.Event{
+		inv(0, 0, enq(1), true, 1), ret(0, 0, enq(1), true, 0, 2),
+		inv(0, 1, enq(2), true, 3), ret(0, 1, enq(2), true, 0, 4),
+		inv(1, 0, deq, true, 5), ret(1, 0, deq, true, 2, 6), // LIFO: wrong
+	}
+	if err := linearize.Check(s, bad); err == nil {
+		t.Error("LIFO dequeue should not be linearizable")
+	}
+}
+
+func TestFinalStates(t *testing.T) {
+	s := spec.NewRegister(3, 1)
+	// A completed write(2) concurrent with a pending write(3): final state
+	// can be 2 (pending dropped or before) or 3 (pending after).
+	events := []sim.Event{
+		inv(0, 0, w(2), true, 1),
+		inv(1, 0, w(3), true, 1),
+		ret(0, 0, w(2), true, 0, 2),
+	}
+	states := linearize.FinalStates(s, events)
+	if !states["2"] || !states["3"] {
+		t.Errorf("final states = %v, want {2,3}", states)
+	}
+	if states["1"] {
+		t.Errorf("state 1 impossible: write(2) completed; got %v", states)
+	}
+}
+
+func TestFinalStatesEmptyForNonLinearizable(t *testing.T) {
+	s := spec.NewRegister(3, 1)
+	events := []sim.Event{
+		inv(1, 0, rd, false, 1), ret(1, 0, rd, false, 3, 2), // reads unwritten 3
+	}
+	if states := linearize.FinalStates(s, events); len(states) != 0 {
+		t.Errorf("final states = %v, want empty", states)
+	}
+}
+
+func TestRealTimeOrderAcrossProcs(t *testing.T) {
+	s := spec.NewCounter(5, 0)
+	incOp := core.Op{Name: spec.OpInc}
+	// Two sequential incs must return 0 then 1; returning 0 twice is only
+	// possible if they overlap.
+	bad := []sim.Event{
+		inv(0, 0, incOp, true, 1), ret(0, 0, incOp, true, 0, 2),
+		inv(1, 0, incOp, true, 3), ret(1, 0, incOp, true, 0, 4),
+	}
+	if err := linearize.Check(s, bad); err == nil {
+		t.Error("second sequential inc returning 0 should not be linearizable")
+	}
+	good := []sim.Event{
+		inv(0, 0, incOp, true, 1),
+		inv(1, 0, incOp, true, 1),
+		ret(0, 0, incOp, true, 0, 2),
+		ret(1, 0, incOp, true, 1, 2),
+	}
+	if err := linearize.Check(s, good); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package llsc
+
+import (
+	"fmt"
+
+	"hiconc/internal/sim"
+)
+
+// CASFactory builds R-LLSC variables using Algorithm 6: the object's state
+// (val, context) is packed into a single atomic CAS base object. The
+// implementation is linearizable, perfect HI, and lock-free (LL, SC and RL
+// may retry under contention); Load, VL and Store are wait-free
+// (Theorem 28).
+type CASFactory struct{}
+
+var _ Factory = CASFactory{}
+
+// Name implements Factory.
+func (CASFactory) Name() string { return "cas" }
+
+// New implements Factory.
+func (CASFactory) New(mem *sim.Memory, name string, init sim.Value) Var {
+	return &casVar{x: mem.NewCAS(name, Packed{Val: init})}
+}
+
+type casVar struct {
+	x *sim.CASObj
+}
+
+var _ Var = (*casVar)(nil)
+
+func (v *casVar) Name() string { return v.x.Name() }
+
+func bit(p *sim.Proc) uint64 {
+	if p.ID >= 64 {
+		panic(fmt.Sprintf("llsc: pid %d exceeds the 64-process context bitmask", p.ID))
+	}
+	return uint64(1) << uint(p.ID)
+}
+
+func (v *casVar) read(p *sim.Proc) Packed { return p.ReadCAS(v.x).(Packed) }
+
+// Load is Algorithm 6 lines 21-22.
+func (v *casVar) Load(p *sim.Proc) sim.Value { return v.read(p).Val }
+
+// Store is Algorithm 6 lines 23-24: write the value with an empty context.
+func (v *casVar) Store(p *sim.Proc, val sim.Value) {
+	p.WriteCAS(v.x, Packed{Val: val})
+}
+
+// LL is Algorithm 6 lines 1-6: repeatedly read and CAS-in the caller's
+// context bit. Lock-free: concurrent context changes force retries.
+func (v *casVar) LL(p *sim.Proc) sim.Value {
+	a := v.BeginLL(p)
+	for !a.Step() {
+	}
+	return a.Value()
+}
+
+// VL is Algorithm 6 lines 12-13.
+func (v *casVar) VL(p *sim.Proc) bool {
+	return v.read(p).Ctx&bit(p) != 0
+}
+
+// SC is Algorithm 6 lines 7-11: while the caller's bit is set, try to
+// install (v, ∅); once the bit is observed clear, fail.
+func (v *casVar) SC(p *sim.Proc, val sim.Value) bool {
+	cur := v.read(p)
+	for cur.Ctx&bit(p) != 0 {
+		if p.CAS(v.x, cur, Packed{Val: val}) {
+			return true
+		}
+		cur = v.read(p)
+	}
+	return false
+}
+
+// RL is Algorithm 6 lines 14-20: while the caller's bit is set, try to clear
+// it; it always returns true.
+func (v *casVar) RL(p *sim.Proc) {
+	cur := v.read(p)
+	for cur.Ctx&bit(p) != 0 {
+		next := cur
+		next.Ctx &^= bit(p)
+		if p.CAS(v.x, cur, next) {
+			return
+		}
+		cur = v.read(p)
+	}
+}
+
+// BeginLL returns the resumable form of LL.
+func (v *casVar) BeginLL(p *sim.Proc) LLAttempt {
+	return &casLLAttempt{v: v, p: p}
+}
+
+type casLLAttempt struct {
+	v       *casVar
+	p       *sim.Proc
+	cur     Packed
+	haveCur bool
+	done    bool
+	result  sim.Value
+}
+
+func (a *casLLAttempt) Step() bool {
+	if a.done {
+		return true
+	}
+	if !a.haveCur {
+		a.cur = a.v.read(a.p)
+		a.haveCur = true
+		return false
+	}
+	next := a.cur
+	next.Ctx |= bit(a.p)
+	if a.p.CAS(a.v.x, a.cur, next) {
+		a.result = a.cur.Val
+		a.done = true
+		return true
+	}
+	a.haveCur = false
+	return false
+}
+
+func (a *casLLAttempt) Value() sim.Value { return a.result }

@@ -1,0 +1,131 @@
+// Package llsc provides the context-aware releasable LL/SC (R-LLSC) object
+// of Section 6.1. The state of an R-LLSC object is the pair (val, context)
+// where context is the set of processes whose load-link is still valid.
+// Operations (performed by process p_i):
+//
+//	LL     adds p_i to the context and returns val
+//	VL     reports whether p_i is in the context
+//	SC(v)  if p_i is in the context: val = v, context = ∅, return true
+//	RL     removes p_i from the context (the "releasable" extension)
+//	Load   returns val without touching the context
+//	Store  sets val = v and resets the context
+//
+// Two implementations are provided: a hardware-backed variant in which every
+// operation is a single primitive on a sim.LLSCCell base object, and
+// Algorithm 6, which implements the object from a single atomic CAS base
+// object in a lock-free, perfect HI manner (Theorem 28).
+package llsc
+
+import (
+	"fmt"
+
+	"hiconc/internal/sim"
+)
+
+// Packed is the CAS-cell encoding used by Algorithm 6: the value together
+// with the context as a bitmask (bit i set iff p_i is in the context). The
+// dynamic type of Val must be comparable.
+type Packed struct {
+	// Val is the R-LLSC value.
+	Val sim.Value
+	// Ctx is the context bitmask.
+	Ctx uint64
+}
+
+// String renders the packed state; it appears verbatim in memory snapshots.
+func (pk Packed) String() string { return fmt.Sprintf("(%v|ctx=%b)", pk.Val, pk.Ctx) }
+
+// LLAttempt is a resumable LL operation: Step executes one primitive step
+// and reports completion; Value returns the loaded value once complete.
+// Resumability is what lets Algorithm 5 interleave an LL with the polling
+// reads of its escape hatches (the ∥ notation in lines 6, 18 and 25).
+type LLAttempt interface {
+	// Step executes one primitive step; it returns true once the LL has
+	// taken effect.
+	Step() bool
+	// Value returns the loaded value; valid only after Step returned true.
+	Value() sim.Value
+}
+
+// Var is an R-LLSC variable usable from simulator programs.
+type Var interface {
+	// Name returns the underlying base object's name.
+	Name() string
+	// Load returns the value without changing the context.
+	Load(p *sim.Proc) sim.Value
+	// Store sets the value and resets the context; it always succeeds.
+	Store(p *sim.Proc, v sim.Value)
+	// LL load-links: it adds the calling process to the context and
+	// returns the value. It may block (Algorithm 6's LL is lock-free).
+	LL(p *sim.Proc) sim.Value
+	// BeginLL starts a resumable LL.
+	BeginLL(p *sim.Proc) LLAttempt
+	// VL reports whether the calling process is in the context.
+	VL(p *sim.Proc) bool
+	// SC store-conditionally writes v; it succeeds iff the calling process
+	// is in the context, resetting the context.
+	SC(p *sim.Proc, v sim.Value) bool
+	// RL releases the calling process's link.
+	RL(p *sim.Proc)
+}
+
+// Factory creates R-LLSC variables over a memory; it abstracts the choice
+// between hardware cells and Algorithm 6.
+type Factory interface {
+	// New creates a variable named name with initial value init.
+	New(mem *sim.Memory, name string, init sim.Value) Var
+	// Name identifies the factory in test and harness names.
+	Name() string
+}
+
+// HardwareFactory builds R-LLSC variables directly on sim.LLSCCell base
+// objects: every operation is one atomic primitive.
+type HardwareFactory struct{}
+
+var _ Factory = HardwareFactory{}
+
+// Name implements Factory.
+func (HardwareFactory) Name() string { return "hw" }
+
+// New implements Factory.
+func (HardwareFactory) New(mem *sim.Memory, name string, init sim.Value) Var {
+	return &hwVar{c: mem.NewLLSC(name, init)}
+}
+
+type hwVar struct {
+	c *sim.LLSCCell
+}
+
+var _ Var = (*hwVar)(nil)
+
+func (v *hwVar) Name() string                     { return v.c.Name() }
+func (v *hwVar) Load(p *sim.Proc) sim.Value       { return p.Load(v.c) }
+func (v *hwVar) Store(p *sim.Proc, val sim.Value) { p.Store(v.c, val) }
+func (v *hwVar) LL(p *sim.Proc) sim.Value         { return p.LL(v.c) }
+func (v *hwVar) VL(p *sim.Proc) bool              { return p.VL(v.c) }
+func (v *hwVar) SC(p *sim.Proc, val sim.Value) bool {
+	return p.SC(v.c, val)
+}
+func (v *hwVar) RL(p *sim.Proc) { p.RL(v.c) }
+
+func (v *hwVar) BeginLL(p *sim.Proc) LLAttempt {
+	return &hwLLAttempt{v: v, p: p}
+}
+
+type hwLLAttempt struct {
+	v      *hwVar
+	p      *sim.Proc
+	done   bool
+	result sim.Value
+}
+
+func (a *hwLLAttempt) Step() bool {
+	if a.done {
+		return true
+	}
+	a.result = a.p.LL(a.v.c)
+	a.done = true
+	return true
+}
+
+func (a *hwLLAttempt) Value() sim.Value { return a.result }

@@ -1,0 +1,290 @@
+package llsc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/llsc"
+	"hiconc/internal/sim"
+)
+
+// runSolo executes prog as a single process and returns the trace.
+func runSolo(build func(mem *sim.Memory) sim.Program) *sim.Trace {
+	mem := sim.NewMemory()
+	prog := build(mem)
+	return sim.NewRunner(mem, []sim.Program{prog}).Run(&sim.RoundRobin{}, 1000)
+}
+
+// soloSemantics exercises the full R-LLSC interface from one process and
+// reports a numbered failure via the operation response (0 = all good).
+func soloSemantics(f llsc.Factory) func(mem *sim.Memory) sim.Program {
+	return func(mem *sim.Memory) sim.Program {
+		v := f.New(mem, "x", 10)
+		return func(p *sim.Proc) {
+			p.Invoke(core.Op{Name: "solo"}, true)
+			fail := func(code int) { p.Return(code) }
+			if v.Load(p) != 10 {
+				fail(1)
+				return
+			}
+			if v.VL(p) {
+				fail(2) // not linked yet
+				return
+			}
+			if v.SC(p, 99) {
+				fail(3) // SC without LL must fail
+				return
+			}
+			if got := v.LL(p); got != 10 {
+				fail(4)
+				return
+			}
+			if !v.VL(p) {
+				fail(5)
+				return
+			}
+			if !v.SC(p, 11) {
+				fail(6)
+				return
+			}
+			if v.VL(p) {
+				fail(7) // SC reset the context
+				return
+			}
+			if v.Load(p) != 11 {
+				fail(8)
+				return
+			}
+			// RL after LL: the link disappears, so SC fails.
+			v.LL(p)
+			v.RL(p)
+			if v.SC(p, 12) {
+				fail(9)
+				return
+			}
+			// Store always succeeds and resets the context.
+			v.LL(p)
+			v.Store(p, 13)
+			if v.SC(p, 14) {
+				fail(10)
+				return
+			}
+			if v.Load(p) != 13 {
+				fail(11)
+				return
+			}
+			// LL is idempotent for the same process.
+			v.LL(p)
+			v.LL(p)
+			if !v.SC(p, 15) {
+				fail(12)
+				return
+			}
+			p.Return(0)
+		}
+	}
+}
+
+func TestSoloSemantics(t *testing.T) {
+	for _, f := range []llsc.Factory{llsc.HardwareFactory{}, llsc.CASFactory{}} {
+		tr := runSolo(soloSemantics(f))
+		if got := tr.Responses(0); len(got) != 1 || got[0] != 0 {
+			t.Errorf("%s: solo semantics failed with code %v", f.Name(), got)
+		}
+	}
+}
+
+func TestStoreInterferesWithSC(t *testing.T) {
+	// A Store between LL and SC makes the SC fail (context reset).
+	for _, f := range []llsc.Factory{llsc.HardwareFactory{}, llsc.CASFactory{}} {
+		mem := sim.NewMemory()
+		v := f.New(mem, "x", 1)
+		llsc0 := func(p *sim.Proc) {
+			p.Invoke(core.Op{Name: "llsc"}, true)
+			v.LL(p)
+			if v.SC(p, 2) {
+				p.Return(1) // must fail
+				return
+			}
+			p.Return(0)
+		}
+		storer := func(p *sim.Proc) {
+			p.Invoke(core.Op{Name: "store"}, true)
+			v.Store(p, 7)
+			p.Return(0)
+		}
+		r := sim.NewRunner(mem, []sim.Program{llsc0, storer})
+		// p0 completes its LL, then p1 stores, then p0 attempts SC.
+		steps := 2
+		if f.Name() == "hw" {
+			steps = 1
+		}
+		sch := &sim.Phases{List: []sim.Phase{{PID: 0, Steps: steps}, {PID: 1, Steps: 1}, {PID: 0, Steps: 100}}}
+		tr := r.Run(sch, 1000)
+		if got := tr.Responses(0); len(got) != 1 || got[0] != 0 {
+			t.Errorf("%s: SC after interfering Store: responses %v", f.Name(), got)
+		}
+		if fp := sim.Fingerprint(tr.MemAt(len(tr.Steps))); fp != "(7|ctx=0)" {
+			t.Errorf("%s: final memory %s, want (7|ctx=0)", f.Name(), fp)
+		}
+	}
+}
+
+// TestSCExclusivity explores all interleavings of two LL;SC pairs on the
+// Algorithm 6 implementation and checks, on every trace, that each
+// successful SC was preceded by a state carrying the caller's context bit
+// and that it resets the context (the linearization invariants behind
+// Theorem 28).
+func TestSCExclusivity(t *testing.T) {
+	build := func() *sim.Runner {
+		mem := sim.NewMemory()
+		v := llsc.CASFactory{}.New(mem, "x", 0)
+		prog := func(val int) sim.Program {
+			return func(p *sim.Proc) {
+				p.Invoke(core.Op{Name: fmt.Sprintf("llsc%d", val)}, true)
+				v.LL(p)
+				if v.SC(p, val) {
+					p.Return(1)
+				} else {
+					p.Return(0)
+				}
+			}
+		}
+		return sim.NewRunner(mem, []sim.Program{prog(1), prog(2)})
+	}
+	n, err := sim.Explore(build, 40, 500000, func(tr *sim.Trace) error {
+		succ := 0
+		for _, s := range tr.Steps {
+			if s.Prim.Kind != sim.PrimCAS || s.Result != true {
+				continue
+			}
+			oldV := s.Prim.Arg1.(llsc.Packed)
+			newV := s.Prim.Arg2.(llsc.Packed)
+			if newV.Ctx == oldV.Ctx|uint64(1)<<uint(s.PID) && newV.Val == oldV.Val {
+				continue // an LL's context CAS
+			}
+			// An SC's CAS: caller must have been linked, context resets.
+			if oldV.Ctx&(uint64(1)<<uint(s.PID)) == 0 {
+				return fmt.Errorf("SC by p%d succeeded without a link (old %v)", s.PID, oldV)
+			}
+			if newV.Ctx != 0 {
+				return fmt.Errorf("SC left a non-empty context %v", newV)
+			}
+			succ++
+		}
+		if succ == 0 {
+			return fmt.Errorf("no SC succeeded")
+		}
+		// Final value must come from a successful SC, and the responses
+		// must agree with the number of successes.
+		wins := 0
+		for pid := 0; pid < 2; pid++ {
+			r := tr.Responses(pid)
+			if len(r) == 1 && r[0] == 1 {
+				wins++
+			}
+		}
+		if wins != succ {
+			return fmt.Errorf("%d successful SC steps but %d reported wins", succ, wins)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings", n)
+}
+
+// TestOverlappingLLSCOneWinner pins the classic scenario: both processes
+// load-link before either stores conditionally; exactly one SC wins.
+func TestOverlappingLLSCOneWinner(t *testing.T) {
+	mem := sim.NewMemory()
+	v := llsc.CASFactory{}.New(mem, "x", 0)
+	prog := func(val int) sim.Program {
+		return func(p *sim.Proc) {
+			p.Invoke(core.Op{Name: "op"}, true)
+			v.LL(p)
+			if v.SC(p, val) {
+				p.Return(1)
+			} else {
+				p.Return(0)
+			}
+		}
+	}
+	r := sim.NewRunner(mem, []sim.Program{prog(1), prog(2)})
+	// Each LL is read+CAS (2 steps); run both LLs, then both SCs.
+	sch := &sim.Phases{List: []sim.Phase{
+		{PID: 0, Steps: 2}, {PID: 1, Steps: 2}, {PID: 0, Steps: 100}, {PID: 1, Steps: 100},
+	}}
+	tr := r.Run(sch, 1000)
+	r0, r1 := tr.Responses(0), tr.Responses(1)
+	if len(r0) != 1 || len(r1) != 1 || r0[0]+r1[0] != 1 {
+		t.Fatalf("wins: p0=%v p1=%v; want exactly one", r0, r1)
+	}
+	if r0[0] != 1 {
+		t.Errorf("p0 performed its SC first and should win (p0=%v p1=%v)", r0, r1)
+	}
+	if fp := sim.Fingerprint(tr.MemAt(len(tr.Steps))); fp != "(1|ctx=0)" {
+		t.Errorf("final memory %s, want (1|ctx=0)", fp)
+	}
+}
+
+// TestRLUnderContention checks that RL terminates and removes only the
+// caller's bit even when racing with another process's LL.
+func TestRLUnderContention(t *testing.T) {
+	build := func() *sim.Runner {
+		mem := sim.NewMemory()
+		v := llsc.CASFactory{}.New(mem, "x", 0)
+		releaser := func(p *sim.Proc) {
+			p.Invoke(core.Op{Name: "rl"}, true)
+			v.LL(p)
+			v.RL(p)
+			p.Return(0)
+		}
+		linker := func(p *sim.Proc) {
+			p.Invoke(core.Op{Name: "ll"}, true)
+			v.LL(p)
+			p.Return(0)
+		}
+		return sim.NewRunner(mem, []sim.Program{releaser, linker})
+	}
+	_, err := sim.Explore(build, 30, 200000, func(tr *sim.Trace) error {
+		if tr.Truncated {
+			return fmt.Errorf("RL or LL did not terminate")
+		}
+		// p0 released itself; p1 remains linked: ctx must be exactly 10b.
+		if fp := sim.Fingerprint(tr.MemAt(len(tr.Steps))); fp != "(0|ctx=10)" {
+			return fmt.Errorf("final memory %s, want (0|ctx=10)", fp)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBeginLLAbandonLeavesNoTrace checks the property Algorithm 5 relies on
+// for its escape hatches: abandoning an LL attempt whose last step was a
+// read (or failed CAS) leaves the context unchanged.
+func TestBeginLLAbandonLeavesNoTrace(t *testing.T) {
+	mem := sim.NewMemory()
+	v := llsc.CASFactory{}.New(mem, "x", 5)
+	prog := func(p *sim.Proc) {
+		p.Invoke(core.Op{Name: "abandon"}, true)
+		att := v.BeginLL(p)
+		att.Step() // the read step only
+		p.Return(0)
+	}
+	tr := sim.NewRunner(mem, []sim.Program{prog}).Run(&sim.RoundRobin{}, 100)
+	if fp := sim.Fingerprint(tr.MemAt(len(tr.Steps))); fp != "(5|ctx=0)" {
+		t.Errorf("abandoned LL left %s, want (5|ctx=0)", fp)
+	}
+}
+
+func TestPackedString(t *testing.T) {
+	pk := llsc.Packed{Val: 3, Ctx: 5}
+	if got := pk.String(); got != "(3|ctx=101)" {
+		t.Errorf("Packed.String() = %q", got)
+	}
+}

@@ -1,0 +1,54 @@
+package obj_test
+
+import (
+	"fmt"
+
+	"hiconc/internal/obj"
+)
+
+// A counter shared by two processes: handles are per-goroutine, the object
+// is wait-free and history independent.
+func ExampleNewCounter() {
+	c := obj.NewCounter(2)
+	h0, h1 := c.Handle(0), c.Handle(1)
+	h0.Inc()
+	h1.Inc()
+	h0.Dec()
+	fmt.Println(c.Value())
+	// Output: 1
+}
+
+// The memory representation depends only on the abstract state: two queues
+// with different histories but equal contents have identical snapshots.
+func ExampleQueue_Snapshot() {
+	a := obj.NewQueue(2)
+	ha := a.Handle(0)
+	ha.Enqueue(1)
+	ha.Enqueue(2)
+	ha.Dequeue()
+
+	b := obj.NewQueue(2)
+	b.Handle(1).Enqueue(2)
+
+	fmt.Println(a.Snapshot() == b.Snapshot())
+	// Output: true
+}
+
+func ExampleSetHandle_Contains() {
+	s := obj.NewSet(2)
+	h := s.Handle(0)
+	h.Insert(7)
+	h.Remove(7)
+	h.Insert(9)
+	fmt.Println(h.Contains(7), h.Contains(9))
+	// Output: false true
+}
+
+func ExampleNewMaxRegister() {
+	r := obj.NewMaxRegister(2, 1)
+	h := r.Handle(0)
+	h.Write(5)
+	h.Write(3) // absorbed: 3 < 5
+	fmt.Println(h.Read())
+	// Output: 5
+}

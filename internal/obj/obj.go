@@ -1,0 +1,221 @@
+// Package obj provides ready-to-use history-independent concurrent objects
+// built on the native universal construction (Algorithm 5 over Algorithm 6
+// style R-LLSC cells): Counter, Register, MaxRegister, Queue, Stack and Set.
+//
+// Each object is created for a fixed number of processes n; a goroutine
+// obtains a Handle for its process id (0 <= pid < n) and performs operations
+// through it. Handles are not safe for sharing between goroutines, but
+// distinct handles of the same object are.
+//
+// All objects are linearizable, wait-free, and state-quiescent history
+// independent: whenever no update is in flight, the shared memory
+// representation is a canonical function of the abstract state — it reveals
+// nothing about how the object got there (Theorem 32).
+package obj
+
+import (
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// Counter is a wait-free history-independent counter.
+type Counter struct {
+	u *conc.Universal
+}
+
+// NewCounter creates a counter for n processes.
+func NewCounter(n int) *Counter {
+	return &Counter{u: conc.NewUniversal(conc.CounterObj{}, n)}
+}
+
+// Handle returns process pid's handle.
+func (c *Counter) Handle(pid int) *CounterHandle {
+	return &CounterHandle{u: c.u, pid: pid}
+}
+
+// Value returns the current value.
+func (c *Counter) Value() int { return c.u.State().(int) }
+
+// Snapshot returns the memory representation (for HI inspection).
+func (c *Counter) Snapshot() string { return c.u.Snapshot() }
+
+// CounterHandle is one process's view of a Counter.
+type CounterHandle struct {
+	u   *conc.Universal
+	pid int
+}
+
+// Inc increments the counter and returns the previous value.
+func (h *CounterHandle) Inc() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpInc}) }
+
+// Dec decrements the counter and returns the previous value.
+func (h *CounterHandle) Dec() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpDec}) }
+
+// Read returns the current value.
+func (h *CounterHandle) Read() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpRead}) }
+
+// Register is a wait-free history-independent multi-valued register,
+// readable and writable by all n processes.
+type Register struct {
+	u *conc.Universal
+}
+
+// NewRegister creates a register for n processes with initial value v0.
+func NewRegister(n, v0 int) *Register {
+	return &Register{u: conc.NewUniversal(conc.RegisterObj{V0: v0}, n)}
+}
+
+// Handle returns process pid's handle.
+func (r *Register) Handle(pid int) *RegisterHandle {
+	return &RegisterHandle{u: r.u, pid: pid}
+}
+
+// Snapshot returns the memory representation.
+func (r *Register) Snapshot() string { return r.u.Snapshot() }
+
+// RegisterHandle is one process's view of a Register.
+type RegisterHandle struct {
+	u   *conc.Universal
+	pid int
+}
+
+// Write stores v.
+func (h *RegisterHandle) Write(v int) { h.u.Apply(h.pid, core.Op{Name: spec.OpWrite, Arg: v}) }
+
+// Read returns the last written value.
+func (h *RegisterHandle) Read() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpRead}) }
+
+// MaxRegister is a wait-free history-independent max register.
+type MaxRegister struct {
+	u *conc.Universal
+}
+
+// NewMaxRegister creates a max register for n processes with initial value v0.
+func NewMaxRegister(n, v0 int) *MaxRegister {
+	return &MaxRegister{u: conc.NewUniversal(conc.MaxRegisterObj{V0: v0}, n)}
+}
+
+// Handle returns process pid's handle.
+func (r *MaxRegister) Handle(pid int) *MaxRegisterHandle {
+	return &MaxRegisterHandle{u: r.u, pid: pid}
+}
+
+// Snapshot returns the memory representation.
+func (r *MaxRegister) Snapshot() string { return r.u.Snapshot() }
+
+// MaxRegisterHandle is one process's view of a MaxRegister.
+type MaxRegisterHandle struct {
+	u   *conc.Universal
+	pid int
+}
+
+// Write raises the register to v if v exceeds the current maximum.
+func (h *MaxRegisterHandle) Write(v int) { h.u.Apply(h.pid, core.Op{Name: spec.OpWrite, Arg: v}) }
+
+// Read returns the maximum value ever written.
+func (h *MaxRegisterHandle) Read() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpRead}) }
+
+// Queue is a wait-free history-independent FIFO queue with Peek.
+type Queue struct {
+	u *conc.Universal
+}
+
+// NewQueue creates a queue for n processes.
+func NewQueue(n int) *Queue {
+	return &Queue{u: conc.NewUniversal(conc.QueueObj{}, n)}
+}
+
+// Handle returns process pid's handle.
+func (q *Queue) Handle(pid int) *QueueHandle {
+	return &QueueHandle{u: q.u, pid: pid}
+}
+
+// Snapshot returns the memory representation.
+func (q *Queue) Snapshot() string { return q.u.Snapshot() }
+
+// Len returns the current queue length.
+func (q *Queue) Len() int { return len(q.u.State().([]int)) }
+
+// QueueHandle is one process's view of a Queue.
+type QueueHandle struct {
+	u   *conc.Universal
+	pid int
+}
+
+// Enqueue appends v.
+func (h *QueueHandle) Enqueue(v int) { h.u.Apply(h.pid, core.Op{Name: spec.OpEnq, Arg: v}) }
+
+// Dequeue removes and returns the first element (0 if empty).
+func (h *QueueHandle) Dequeue() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpDeq}) }
+
+// Peek returns the first element without removing it (0 if empty).
+func (h *QueueHandle) Peek() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpPeek}) }
+
+// Stack is a wait-free history-independent LIFO stack with Top.
+type Stack struct {
+	u *conc.Universal
+}
+
+// NewStack creates a stack for n processes.
+func NewStack(n int) *Stack {
+	return &Stack{u: conc.NewUniversal(conc.StackObj{}, n)}
+}
+
+// Handle returns process pid's handle.
+func (s *Stack) Handle(pid int) *StackHandle {
+	return &StackHandle{u: s.u, pid: pid}
+}
+
+// Snapshot returns the memory representation.
+func (s *Stack) Snapshot() string { return s.u.Snapshot() }
+
+// StackHandle is one process's view of a Stack.
+type StackHandle struct {
+	u   *conc.Universal
+	pid int
+}
+
+// Push appends v.
+func (h *StackHandle) Push(v int) { h.u.Apply(h.pid, core.Op{Name: spec.OpPush, Arg: v}) }
+
+// Pop removes and returns the top element (0 if empty).
+func (h *StackHandle) Pop() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpPop}) }
+
+// Top returns the top element without removing it (0 if empty).
+func (h *StackHandle) Top() int { return h.u.Apply(h.pid, core.Op{Name: spec.OpTop}) }
+
+// Set is a wait-free history-independent set over {1..64}.
+type Set struct {
+	u *conc.Universal
+}
+
+// NewSet creates a set for n processes.
+func NewSet(n int) *Set {
+	return &Set{u: conc.NewUniversal(conc.SetObj{}, n)}
+}
+
+// Handle returns process pid's handle.
+func (s *Set) Handle(pid int) *SetHandle {
+	return &SetHandle{u: s.u, pid: pid}
+}
+
+// Snapshot returns the memory representation.
+func (s *Set) Snapshot() string { return s.u.Snapshot() }
+
+// SetHandle is one process's view of a Set.
+type SetHandle struct {
+	u   *conc.Universal
+	pid int
+}
+
+// Insert adds v to the set.
+func (h *SetHandle) Insert(v int) { h.u.Apply(h.pid, core.Op{Name: spec.OpInsert, Arg: v}) }
+
+// Remove deletes v from the set.
+func (h *SetHandle) Remove(v int) { h.u.Apply(h.pid, core.Op{Name: spec.OpRemove, Arg: v}) }
+
+// Contains reports whether v is in the set.
+func (h *SetHandle) Contains(v int) bool {
+	return h.u.Apply(h.pid, core.Op{Name: spec.OpLookup, Arg: v}) == 1
+}

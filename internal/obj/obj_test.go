@@ -1,0 +1,155 @@
+package obj_test
+
+import (
+	"sync"
+	"testing"
+
+	"hiconc/internal/obj"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	const n, m = 4, 250
+	c := obj.NewCounter(n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			h := c.Handle(pid)
+			for i := 0; i < m; i++ {
+				h.Inc()
+			}
+			for i := 0; i < m/2; i++ {
+				h.Dec()
+			}
+		}(pid)
+	}
+	wg.Wait()
+	want := n * (m - m/2)
+	if got := c.Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := c.Handle(0).Read(); got != want {
+		t.Fatalf("read = %d, want %d", got, want)
+	}
+}
+
+func TestCounterHISnapshots(t *testing.T) {
+	// Two different histories reaching the same value leave identical
+	// memory.
+	a := obj.NewCounter(2)
+	ah := a.Handle(0)
+	ah.Inc()
+	ah.Inc()
+	ah.Dec()
+	b := obj.NewCounter(2)
+	b.Handle(1).Inc()
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("snapshots differ for equal states:\n a: %s\n b: %s", a.Snapshot(), b.Snapshot())
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := obj.NewRegister(2, 7)
+	if got := r.Handle(0).Read(); got != 7 {
+		t.Fatalf("initial read = %d", got)
+	}
+	r.Handle(1).Write(42)
+	if got := r.Handle(0).Read(); got != 42 {
+		t.Fatalf("read = %d, want 42", got)
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	r := obj.NewMaxRegister(2, 1)
+	h := r.Handle(0)
+	h.Write(5)
+	h.Write(3) // absorbed
+	if got := h.Read(); got != 5 {
+		t.Fatalf("max = %d, want 5", got)
+	}
+}
+
+func TestQueue(t *testing.T) {
+	q := obj.NewQueue(2)
+	h := q.Handle(0)
+	h.Enqueue(1)
+	h.Enqueue(2)
+	if got := h.Peek(); got != 1 {
+		t.Fatalf("peek = %d", got)
+	}
+	if got := h.Dequeue(); got != 1 {
+		t.Fatalf("deq = %d", got)
+	}
+	if got := h.Dequeue(); got != 2 {
+		t.Fatalf("deq = %d", got)
+	}
+	if got := h.Dequeue(); got != 0 {
+		t.Fatalf("deq empty = %d", got)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestStack(t *testing.T) {
+	s := obj.NewStack(2)
+	h := s.Handle(1)
+	h.Push(1)
+	h.Push(2)
+	if got := h.Top(); got != 2 {
+		t.Fatalf("top = %d", got)
+	}
+	if got := h.Pop(); got != 2 {
+		t.Fatalf("pop = %d", got)
+	}
+	if got := h.Pop(); got != 1 {
+		t.Fatalf("pop = %d", got)
+	}
+}
+
+func TestSetHI(t *testing.T) {
+	a := obj.NewSet(2)
+	ha := a.Handle(0)
+	ha.Insert(3)
+	ha.Insert(9)
+	ha.Remove(3)
+	b := obj.NewSet(2)
+	b.Handle(1).Insert(9)
+	if !a.Handle(1).Contains(9) || a.Handle(1).Contains(3) {
+		t.Fatal("set contents wrong")
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("snapshots differ for equal sets:\n a: %s\n b: %s", a.Snapshot(), b.Snapshot())
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	const items = 300
+	q := obj.NewQueue(2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h := q.Handle(0)
+		for i := 1; i <= items; i++ {
+			h.Enqueue(i)
+		}
+	}()
+	var got []int
+	go func() {
+		defer wg.Done()
+		h := q.Handle(1)
+		for len(got) < items {
+			if v := h.Dequeue(); v != 0 {
+				got = append(got, v)
+			}
+		}
+	}()
+	wg.Wait()
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("FIFO violated at %d: %d", i, v)
+		}
+	}
+}

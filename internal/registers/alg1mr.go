@@ -1,0 +1,69 @@
+package registers
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// NewAlg1MultiReader returns Vidyasankar's register with multiple readers —
+// the setting the original algorithm [46] was designed for (the paper
+// specializes it to a single reader). Process 0 is the writer; processes
+// 1..readers are readers. Like the single-reader version it is wait-free
+// and linearizable but not history independent.
+func NewAlg1MultiReader(k, v0, readers int) *harness.Harness {
+	if readers < 1 {
+		panic(fmt.Sprintf("registers: need at least one reader, got %d", readers))
+	}
+	s := spec.NewRegister(k, v0)
+	procOps := make([][]core.Op, readers+1)
+	procOps[0] = writerOps(k)
+	for i := 1; i <= readers; i++ {
+		procOps[i] = readerOps()
+	}
+	return &harness.Harness{
+		Name:    fmt.Sprintf("alg1mr[K=%d,r=%d]", k, readers),
+		Spec:    s,
+		ProcOps: procOps,
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem, a := regMem(k, v0)
+			progs := make([]sim.Program, readers+1)
+			progs[0] = func(p *sim.Proc) {
+				for op, ok := srcs[0].Next(p); ok; op, ok = srcs[0].Next(p) {
+					v := checkWrite(op, k)
+					p.Invoke(op, true)
+					p.Write(a[v-1], 1)
+					clearDown(p, a, v)
+					p.Return(0)
+				}
+			}
+			for i := 1; i <= readers; i++ {
+				src := srcs[i]
+				progs[i] = func(p *sim.Proc) {
+					for op, ok := src.Next(p); ok; op, ok = src.Next(p) {
+						checkRead(op)
+						p.Invoke(op, false)
+						j := 1
+						for p.ReadInt(a[j-1]) == 0 {
+							j++
+							if j > k {
+								panic("registers: alg1mr reader scanned past A[K]")
+							}
+						}
+						val := j
+						for j2 := val - 1; j2 >= 1; j2-- {
+							if p.ReadInt(a[j2-1]) == 1 {
+								val = j2
+							}
+						}
+						p.Return(val)
+					}
+				}
+			}
+			return sim.NewRunner(mem, progs)
+		},
+	}
+}

@@ -1,0 +1,49 @@
+package registers_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/linearize"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+)
+
+func TestAlg1MultiReaderLinearizableFuzz(t *testing.T) {
+	h := registers.NewAlg1MultiReader(3, 1, 2)
+	scripts := [][]core.Op{{w(2), w(3), w(1)}, {rd, rd}, {rd, rd}}
+	err := sim.RandomTraces(h.Builder(scripts), 500, 3, 300, func(tr *sim.Trace) error {
+		return linearize.Check(h.Spec, tr.Events)
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlg1MultiReaderLinearizableExhaustive(t *testing.T) {
+	h := registers.NewAlg1MultiReader(3, 3, 2)
+	scripts := [][]core.Op{{w(1)}, {rd}, {rd}}
+	_, err := sim.Explore(h.Builder(scripts), 12, 2_000_000, func(tr *sim.Trace) error {
+		return linearize.Check(h.Spec, tr.Events)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlg1MultiReaderWaitFree(t *testing.T) {
+	h := registers.NewAlg1MultiReader(4, 1, 3)
+	scripts := [][]core.Op{{w(3), w(2), w(4)}, {rd, rd}, {rd, rd}, {rd, rd}}
+	err := sim.RandomTraces(h.Builder(scripts), 300, 17, 400, func(tr *sim.Trace) error {
+		for pid := 1; pid <= 3; pid++ {
+			if got := len(tr.Responses(pid)); got != 2 {
+				return fmt.Errorf("reader p%d completed %d of 2 reads", pid, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}

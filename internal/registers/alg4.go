@@ -1,0 +1,143 @@
+package registers
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// Alg4Variant selects the faithful Algorithm 4 or one of its deliberately
+// broken mutants, used for failure injection.
+type Alg4Variant int
+
+const (
+	// Alg4Full is the faithful Algorithm 4.
+	Alg4Full Alg4Variant = iota + 1
+	// Alg4ReaderSilent removes every reader write (flags and the B-clear).
+	// Proposition 19 proves the reader must write; this mutant either
+	// returns Bot (breaking linearizability) or leaks state.
+	Alg4ReaderSilent
+	// Alg4NoWriterBClear removes the writer's line 14-15 clean-up of B, so
+	// a helping value can survive into a quiescent configuration,
+	// violating quiescent HI.
+	Alg4NoWriterBClear
+	// Alg4NoHelp removes the writer's helping (lines 11-15) entirely; a
+	// Read overlapping two Writes can fail to find any value and returns
+	// Bot.
+	Alg4NoHelp
+)
+
+func (v Alg4Variant) String() string {
+	switch v {
+	case Alg4Full:
+		return "alg4"
+	case Alg4ReaderSilent:
+		return "alg4-reader-silent"
+	case Alg4NoWriterBClear:
+		return "alg4-no-writer-bclear"
+	case Alg4NoHelp:
+		return "alg4-no-help"
+	default:
+		return fmt.Sprintf("alg4-variant(%d)", int(v))
+	}
+}
+
+// NewAlg4 returns the Algorithm 4 harness: the wait-free quiescent HI SWSR
+// K-valued register from binary registers. The reader announces itself via
+// flag[1]; a writer that sees a concurrent reader and an empty helping array
+// B writes its previous value into B so the reader always finds a value
+// within two TryRead attempts. Both sides carefully clear B and the flags so
+// that every quiescent configuration is canonical.
+func NewAlg4(k, v0 int) *harness.Harness {
+	return newAlg4(k, v0, Alg4Full)
+}
+
+// NewAlg4Mutant returns a broken Algorithm 4 variant for failure injection.
+func NewAlg4Mutant(k, v0 int, variant Alg4Variant) *harness.Harness {
+	return newAlg4(k, v0, variant)
+}
+
+func newAlg4(k, v0 int, variant Alg4Variant) *harness.Harness {
+	s := spec.NewRegister(k, v0)
+	return &harness.Harness{
+		Name:    fmt.Sprintf("%v[K=%d]", variant, k),
+		Spec:    s,
+		ProcOps: [][]core.Op{writerOps(k), readerOps()},
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem, a := regMem(k, v0)
+			b := make([]*sim.Reg, k)
+			for j := 1; j <= k; j++ {
+				b[j-1] = mem.NewBinReg(fmt.Sprintf("B%d", j), 0)
+			}
+			flag1 := mem.NewBinReg("flag1", 0)
+			flag2 := mem.NewBinReg("flag2", 0)
+
+			writer := func(p *sim.Proc) {
+				lastVal := v0
+				for op, ok := srcs[0].Next(p); ok; op, ok = srcs[0].Next(p) {
+					v := checkWrite(op, k)
+					p.Invoke(op, true)
+					if variant != Alg4NoHelp {
+						// Line 11: check whether B is all zero.
+						allZero := true
+						for j := 1; j <= k; j++ {
+							if p.ReadInt(b[j-1]) == 1 {
+								allZero = false
+								break
+							}
+						}
+						if allZero && p.ReadInt(flag1) == 1 { // Line 12
+							p.Write(b[lastVal-1], 1) // Line 13
+							// Line 14: read flag[2], then flag[1].
+							f2 := p.ReadInt(flag2)
+							f1 := p.ReadInt(flag1)
+							if variant != Alg4NoWriterBClear && (f2 == 1 || f1 == 0) {
+								p.Write(b[lastVal-1], 0) // Line 15
+							}
+						}
+					}
+					p.Write(a[v-1], 1)  // Line 16
+					clearDown(p, a, v)  // Line 17
+					clearUp(p, a, v, k) // Line 18
+					lastVal = v         // Line 19
+					p.Return(0)
+				}
+			}
+
+			reader := func(p *sim.Proc) {
+				silent := variant == Alg4ReaderSilent
+				for op, ok := srcs[1].Next(p); ok; op, ok = srcs[1].Next(p) {
+					checkRead(op)
+					p.Invoke(op, false)
+					if !silent {
+						p.Write(flag1, 1) // Line 1
+					}
+					val := Bot
+					for it := 0; it < 2 && val == Bot; it++ { // Lines 2-4
+						val = tryRead(p, k, a)
+					}
+					if val == Bot { // Lines 5-6
+						for j := 1; j <= k; j++ {
+							if p.ReadInt(b[j-1]) == 1 {
+								val = j
+							}
+						}
+					}
+					if !silent {
+						p.Write(flag2, 1)         // Line 7
+						for j := 1; j <= k; j++ { // Line 8
+							p.Write(b[j-1], 0)
+						}
+						p.Write(flag1, 0) // Line 9
+						p.Write(flag2, 0) // Line 9
+					}
+					p.Return(val)
+				}
+			}
+			return sim.NewRunner(mem, []sim.Program{writer, reader})
+		},
+	}
+}

@@ -1,0 +1,151 @@
+package registers_test
+
+// Proof-scenario regression tests: the interleavings drawn in the paper's
+// Figures 2, 4 and 5 pinned as explicit schedules.
+
+import (
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/linearize"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+)
+
+// figure4Schedule is the Lemma 10 / Figure 4 interleaving for Algorithm 4
+// with K=3, v0=3 and writer script [w1, w3, w1]: the reader announces
+// itself, both TryReads fail because each Write lands the 1 behind the scan,
+// and the value must come from the helping array B.
+//
+// Writer step counts: the first Write sees B empty and flag[1]=1, so it
+// helps (3 B-reads + flag read + B write + 2 flag reads + 3 A-writes = 10
+// steps); later Writes see B nonempty (B-scan finds the 1 at its third
+// read) and skip helping (3 + 3 = 6 steps).
+func figure4Schedule() []int {
+	var sched []int
+	sched = append(sched, 1)                            // flag[1] <- 1
+	sched = append(sched, 1, 1)                         // TryRead1: A1, A2 (both 0)
+	sched = append(sched, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0) // Write(1), helping: B[3] <- 1
+	sched = append(sched, 1)                            // TryRead1: A3 = 0 -> ⊥
+	sched = append(sched, 0, 0, 0, 0, 0, 0)             // Write(3)
+	sched = append(sched, 1, 1)                         // TryRead2: A1, A2
+	sched = append(sched, 0, 0, 0, 0, 0, 0)             // Write(1)
+	sched = append(sched, 1)                            // TryRead2: A3 = 0 -> ⊥
+	sched = append(sched, 1, 1, 1)                      // B scan: finds B[3] = 1
+	sched = append(sched, 1, 1, 1, 1, 1, 1)             // flag[2], clear B, clear flags
+	return sched
+}
+
+// TestFigure4HelpingPath runs the Figure 4 schedule on the faithful
+// Algorithm 4: the read is saved by the writer's helping value and the
+// execution stays linearizable and quiescent-HI.
+func TestFigure4HelpingPath(t *testing.T) {
+	h := registers.NewAlg4(3, 3)
+	scripts := [][]core.Op{{w(1), w(3), w(1)}, {rd}}
+	tr := h.BuildScripts(scripts).Run(sim.FixedSchedule(figure4Schedule()), 300)
+	if tr.Truncated {
+		t.Fatal("execution did not finish")
+	}
+	resps := tr.Responses(1)
+	if len(resps) != 1 {
+		t.Fatalf("reader responses: %v", resps)
+	}
+	if resps[0] != 3 {
+		t.Fatalf("read returned %d; the helping path should deliver last-val = 3", resps[0])
+	}
+	if err := linearize.Check(h.Spec, tr.Events); err != nil {
+		t.Fatal(err)
+	}
+	c := canonOrFatal(t, h, 3, 800)
+	if err := hicheck.CheckTrace(c, tr, hicheck.Quiescent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure5WriterCleansB pins the Lemma 35 / Figure 5 scenario on the
+// faithful algorithm: the writer helps a reader that has already finished,
+// observes flag[2]=0 ∧ flag[1]=0 and cleans B itself (line 15), so the
+// quiescent memory stays canonical. (The mutant counterpart is
+// TestAlg4NoWriterBClearViolatesQuiescentHI.)
+func TestFigure5WriterCleansB(t *testing.T) {
+	h := registers.NewAlg4(3, 1)
+	scripts := [][]core.Op{{w(2)}, {rd}}
+	sch := &sim.Phases{List: []sim.Phase{
+		{PID: 1, Steps: 1},  // reader: flag[1] <- 1
+		{PID: 0, Steps: 4},  // writer: B scan + flag[1] read (sees the reader)
+		{PID: 1, Steps: 50}, // reader completes entirely
+		{PID: 0, Steps: 50}, // writer: B write, then line 14-15 clean-up
+	}}
+	tr := h.BuildScripts(scripts).Run(sch, 300)
+	if tr.Truncated {
+		t.Fatal("execution did not finish")
+	}
+	// The writer must have both written and cleared B[last-val] = B[1].
+	wrote, cleared := false, false
+	for _, s := range tr.Steps {
+		if s.PID == 0 && s.Prim.Kind == sim.PrimWrite && s.Prim.Obj.Name() == "B1" {
+			if s.Prim.Arg1 == 1 {
+				wrote = true
+			} else if wrote {
+				cleared = true
+			}
+		}
+	}
+	if !wrote || !cleared {
+		t.Fatalf("writer helping path not exercised (wrote=%v cleared=%v)", wrote, cleared)
+	}
+	c := canonOrFatal(t, h, 2, 800)
+	if err := hicheck.CheckTrace(c, tr, hicheck.Quiescent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2Scenarios covers the Theorem 12 linearization cases: a Read
+// that returns from B (R1) followed by a Read from A (R2) — case (3) of the
+// proof — must linearize R1 before R2 even though R1's value is older.
+func TestFigure2Scenarios(t *testing.T) {
+	h := registers.NewAlg4(3, 3)
+	scripts := [][]core.Op{{w(1), w(3), w(1)}, {rd, rd}}
+	// The first read runs the Figure 4 helping path (returns 3 from B);
+	// the second read runs solo afterwards (returns the final value 1).
+	sched := figure4Schedule()
+	tr := h.BuildScripts(scripts).Run(sim.FixedSchedule(sched), 400)
+	if tr.Truncated {
+		t.Fatal("execution did not finish")
+	}
+	resps := tr.Responses(1)
+	if len(resps) != 2 {
+		t.Fatalf("reader responses: %v", resps)
+	}
+	if resps[0] != 3 || resps[1] != 1 {
+		t.Fatalf("reads returned %v, want [3 1] (B read first, then the current value)", resps)
+	}
+	if err := linearize.Check(h.Spec, tr.Events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2ReadFromBConcurrentWrite is case (1)-flavoured: the B-read
+// linearizes between the write it read from and that write's predecessor,
+// which the global linearizability check certifies across an exhaustive
+// family of interruption points.
+func TestFigure2ReadFromBConcurrentWrite(t *testing.T) {
+	h := registers.NewAlg4(3, 3)
+	scripts := [][]core.Op{{w(1), w(3), w(1)}, {rd}}
+	base := figure4Schedule()
+	// Perturb the schedule: delay the reader's B scan by letting the
+	// writer advance d extra steps first; every variant must stay
+	// linearizable (the writer is done, so the read still returns 3).
+	for d := 0; d <= 6; d++ {
+		sched := append([]int(nil), base[:len(base)-9]...)
+		for i := 0; i < d; i++ {
+			sched = append(sched, 0)
+		}
+		sched = append(sched, base[len(base)-9:]...)
+		tr := h.BuildScripts(scripts).Run(sim.FixedSchedule(sched), 400)
+		if err := linearize.Check(h.Spec, tr.Events); err != nil {
+			t.Fatalf("delay %d: %v", d, err)
+		}
+	}
+}

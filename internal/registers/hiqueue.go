@@ -1,0 +1,145 @@
+package registers
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// NewHIQueue returns a lock-free state-quiescent HI bounded queue-with-Peek
+// from binary registers, for a single "changer" process (process 0, running
+// Enqueue and Dequeue) and a single reader (process 1, running Peek). It is
+// this repository's extension in the spirit of Algorithm 2, and the concrete
+// demonstration target for the Theorem 20 adversary (Section 5.4): base
+// objects are binary (2 states), the element domain has t values, and
+// 2 < t+1 for every t >= 2, so the theorem rules out wait-free Peek —
+// indeed Peek here is only lock-free.
+//
+// Memory layout: cell[pos][v] is a binary register that is 1 iff the queue
+// currently holds element v at position pos, plus a "nonempty" binary flag.
+// The canonical representation of a queue state is left-justified one-hot
+// rows with the flag reflecting emptiness, so every state-quiescent
+// configuration is canonical: the implementation is state-quiescent HI (the
+// reader never writes).
+//
+// Dequeue shifts each position leftward, always writing the new 1 before
+// clearing the old 1 within a position, so position 0 is never observably
+// empty while the queue is logically nonempty. The nonempty flag is raised
+// before the first element appears on Enqueue-from-empty (flag first, then
+// cell) and cleared after the last element disappears on Dequeue-to-empty
+// (cell first, then flag), so flag = 0 is only observable while the cells
+// are genuinely all clear — which makes a Peek that reads flag = 0
+// linearizable as reading an empty queue.
+func NewHIQueue(t, capacity int) *harness.Harness {
+	s := spec.NewQueue(t, capacity)
+	changerOps := make([]core.Op, 0, t+1)
+	for v := 1; v <= t; v++ {
+		changerOps = append(changerOps, core.Op{Name: spec.OpEnq, Arg: v})
+	}
+	changerOps = append(changerOps, core.Op{Name: spec.OpDeq})
+	return &harness.Harness{
+		Name:    fmt.Sprintf("hiqueue[t=%d,cap=%d]", t, capacity),
+		Spec:    s,
+		ProcOps: [][]core.Op{changerOps, {core.Op{Name: spec.OpPeek}}},
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem := sim.NewMemory()
+			cell := make([][]*sim.Reg, capacity)
+			for pos := 0; pos < capacity; pos++ {
+				cell[pos] = make([]*sim.Reg, t)
+				for v := 1; v <= t; v++ {
+					cell[pos][v-1] = mem.NewBinReg(fmt.Sprintf("c%d_%d", pos, v), 0)
+				}
+			}
+			nonempty := mem.NewBinReg("nonempty", 0)
+
+			changer := func(p *sim.Proc) {
+				var q []int // the changer's local copy of the queue contents
+				for op, ok := srcs[0].Next(p); ok; op, ok = srcs[0].Next(p) {
+					switch op.Name {
+					case spec.OpEnq:
+						v := op.Arg
+						if v < 1 || v > t {
+							panic(fmt.Sprintf("registers: hiqueue enq(%d) out of range", v))
+						}
+						p.Invoke(op, true)
+						if len(q) < capacity {
+							// The flag is raised before the element appears:
+							// a Peek that reads flag = 0 can then only do so
+							// while the cells are genuinely all clear, which
+							// makes its "empty" response linearizable. (The
+							// converse order admits a non-linearizable race:
+							// one Peek sees the new element via its cell,
+							// forcing the Enqueue to linearize, while a later
+							// Peek still reads flag = 0 and reports empty.)
+							if len(q) == 0 {
+								p.Write(nonempty, 1)
+							}
+							p.Write(cell[len(q)][v-1], 1)
+							q = append(q, v)
+						} else {
+							// A full-queue Enqueue is a no-op but still takes
+							// one (memory-neutral) step.
+							p.Read(nonempty)
+						}
+						p.Return(0)
+					case spec.OpDeq:
+						p.Invoke(op, true)
+						if len(q) == 0 {
+							// An empty-queue Dequeue is a no-op but still
+							// takes one (memory-neutral) step.
+							p.Read(nonempty)
+							p.Return(0)
+							continue
+						}
+						head := q[0]
+						// Shift every surviving element one position left,
+						// writing the new 1 before clearing the old 1.
+						for pos := 0; pos+1 < len(q); pos++ {
+							if q[pos+1] != q[pos] {
+								p.Write(cell[pos][q[pos+1]-1], 1)
+								p.Write(cell[pos][q[pos]-1], 0)
+							}
+						}
+						p.Write(cell[len(q)-1][q[len(q)-1]-1], 0)
+						if len(q) == 1 {
+							p.Write(nonempty, 0)
+						}
+						q = q[1:]
+						p.Return(head)
+					default:
+						panic(fmt.Sprintf("registers: hiqueue changer got unexpected op %v", op))
+					}
+				}
+			}
+
+			reader := func(p *sim.Proc) {
+				for op, ok := srcs[1].Next(p); ok; op, ok = srcs[1].Next(p) {
+					if op.Name != spec.OpPeek {
+						panic(fmt.Sprintf("registers: hiqueue reader got unexpected op %v", op))
+					}
+					p.Invoke(op, false)
+					val := Bot
+					for val == Bot {
+						if p.ReadInt(nonempty) == 0 {
+							val = 0 // linearize as a Peek of the empty queue
+							break
+						}
+						for v := 1; v <= t; v++ {
+							if p.ReadInt(cell[0][v-1]) == 1 {
+								val = v
+								break
+							}
+						}
+						// No 1 found at position 0: a Dequeue/Enqueue raced
+						// past us; retry (lock-free, as Theorem 20 demands).
+					}
+					p.Return(val)
+				}
+			}
+			return sim.NewRunner(mem, []sim.Program{changer, reader})
+		},
+	}
+}

@@ -1,0 +1,292 @@
+// Package registers implements the register-family algorithms of Sections 4
+// and 5.1 over simulated binary registers:
+//
+//   - Algorithm 1: Vidyasankar's wait-free SWSR K-valued register — the
+//     motivating example that is *not* history independent.
+//   - Algorithm 2 (+ Algorithm 3 TryRead): the lock-free state-quiescent HI
+//     register.
+//   - Algorithm 4: the wait-free quiescent HI register with writer helping.
+//   - The Section 5.1 wait-free state-quiescent HI max register.
+//   - The Section 5.1 wait-free perfect HI set.
+//   - A lock-free state-quiescent HI queue-with-Peek from binary registers
+//     (our extension, the demonstration target for Theorem 20).
+//
+// Deliberately broken mutants used for failure-injection tests are provided
+// alongside each algorithm.
+package registers
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// Bot is the implementation-level ⊥ response, reported by mutants that reach
+// states the correct algorithms prove unreachable (e.g. a Read with no value
+// to return). It never appears in a specification, so any trace containing
+// it fails linearizability.
+const Bot = -1
+
+// regMem creates the K binary registers A[1..K] of Algorithms 1 and 2.
+func regMem(k, v0 int) (*sim.Memory, []*sim.Reg) {
+	mem := sim.NewMemory()
+	a := make([]*sim.Reg, k)
+	for j := 1; j <= k; j++ {
+		init := 0
+		if j == v0 {
+			init = 1
+		}
+		a[j-1] = mem.NewBinReg(fmt.Sprintf("A%d", j), init)
+	}
+	return mem, a
+}
+
+// writerOps enumerates write(1)..write(K).
+func writerOps(k int) []core.Op {
+	ops := make([]core.Op, k)
+	for v := 1; v <= k; v++ {
+		ops[v-1] = core.Op{Name: spec.OpWrite, Arg: v}
+	}
+	return ops
+}
+
+// readerOps is the reader's single operation.
+func readerOps() []core.Op { return []core.Op{{Name: spec.OpRead}} }
+
+// tryRead is Algorithm 3: scan up for the first index holding 1, then scan
+// down re-checking lower indices; return Bot if no 1 was found at all.
+func tryRead(p *sim.Proc, k int, a []*sim.Reg) int {
+	for j := 1; j <= k; j++ {
+		if p.ReadInt(a[j-1]) == 1 {
+			val := j
+			for j2 := val - 1; j2 >= 1; j2-- {
+				if p.ReadInt(a[j2-1]) == 1 {
+					val = j2
+				}
+			}
+			return val
+		}
+	}
+	return Bot
+}
+
+// clearDown writes 0 to A[v-1..1], the downward pass shared by Algorithms
+// 1, 2 and 4.
+func clearDown(p *sim.Proc, a []*sim.Reg, v int) {
+	for j := v - 1; j >= 1; j-- {
+		p.Write(a[j-1], 0)
+	}
+}
+
+// clearUp writes 0 to A[v+1..K], the upward pass that makes Algorithms 2
+// and 4 history independent.
+func clearUp(p *sim.Proc, a []*sim.Reg, v, k int) {
+	for j := v + 1; j <= k; j++ {
+		p.Write(a[j-1], 0)
+	}
+}
+
+// checkWrite panics unless op is write(v) with 1 <= v <= k.
+func checkWrite(op core.Op, k int) int {
+	if op.Name != spec.OpWrite || op.Arg < 1 || op.Arg > k {
+		panic(fmt.Sprintf("registers: writer got unexpected op %v", op))
+	}
+	return op.Arg
+}
+
+// checkRead panics unless op is read().
+func checkRead(op core.Op) {
+	if op.Name != spec.OpRead {
+		panic(fmt.Sprintf("registers: reader got unexpected op %v", op))
+	}
+}
+
+// NewAlg1 returns the Algorithm 1 harness: Vidyasankar's wait-free SWSR
+// K-valued register from binary registers, with initial value v0. Process 0
+// is the writer, process 1 the reader. It is linearizable and wait-free but
+// not history independent in any sense (Section 4).
+func NewAlg1(k, v0 int) *harness.Harness {
+	s := spec.NewRegister(k, v0)
+	return &harness.Harness{
+		Name:    fmt.Sprintf("alg1[K=%d]", k),
+		Spec:    s,
+		ProcOps: [][]core.Op{writerOps(k), readerOps()},
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem, a := regMem(k, v0)
+			writer := func(p *sim.Proc) {
+				for op, ok := srcs[0].Next(p); ok; op, ok = srcs[0].Next(p) {
+					v := checkWrite(op, k)
+					p.Invoke(op, true)
+					p.Write(a[v-1], 1)
+					clearDown(p, a, v)
+					p.Return(0)
+				}
+			}
+			reader := func(p *sim.Proc) {
+				for op, ok := srcs[1].Next(p); ok; op, ok = srcs[1].Next(p) {
+					checkRead(op)
+					p.Invoke(op, false)
+					// Scan up for the first 1 (Algorithm 1 lines 1-2).
+					j := 1
+					for p.ReadInt(a[j-1]) == 0 {
+						j++
+						if j > k {
+							panic("registers: alg1 reader scanned past A[K]")
+						}
+					}
+					val := j
+					// Scan down (lines 4-5).
+					for j2 := val - 1; j2 >= 1; j2-- {
+						if p.ReadInt(a[j2-1]) == 1 {
+							val = j2
+						}
+					}
+					p.Return(val)
+				}
+			}
+			return sim.NewRunner(mem, []sim.Program{writer, reader})
+		},
+	}
+}
+
+// NewAlg2 returns the Algorithm 2 harness: the lock-free state-quiescent HI
+// SWSR K-valued register. The writer additionally clears the array upward,
+// giving every value a canonical representation whenever no Write is
+// pending; the price is that Read (a TryRead loop) is only lock-free.
+func NewAlg2(k, v0 int) *harness.Harness {
+	s := spec.NewRegister(k, v0)
+	return &harness.Harness{
+		Name:    fmt.Sprintf("alg2[K=%d]", k),
+		Spec:    s,
+		ProcOps: [][]core.Op{writerOps(k), readerOps()},
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem, a := regMem(k, v0)
+			writer := func(p *sim.Proc) {
+				for op, ok := srcs[0].Next(p); ok; op, ok = srcs[0].Next(p) {
+					v := checkWrite(op, k)
+					p.Invoke(op, true)
+					p.Write(a[v-1], 1)
+					clearDown(p, a, v)
+					clearUp(p, a, v, k)
+					p.Return(0)
+				}
+			}
+			reader := func(p *sim.Proc) {
+				for op, ok := srcs[1].Next(p); ok; op, ok = srcs[1].Next(p) {
+					checkRead(op)
+					p.Invoke(op, false)
+					val := Bot
+					for val == Bot {
+						val = tryRead(p, k, a)
+					}
+					p.Return(val)
+				}
+			}
+			return sim.NewRunner(mem, []sim.Program{writer, reader})
+		},
+	}
+}
+
+// NewMaxReg returns the Section 5.1 max register harness: Algorithm 1
+// modified so the writer only touches memory when the new value exceeds
+// every previously written value. The result is wait-free and
+// state-quiescent HI — the max register escapes Theorem 17 because its state
+// space is not well-connected (it is not in C_t).
+func NewMaxReg(k, v0 int) *harness.Harness {
+	s := spec.NewMaxRegister(k, v0)
+	return &harness.Harness{
+		Name:    fmt.Sprintf("maxreg[K=%d]", k),
+		Spec:    s,
+		ProcOps: [][]core.Op{writerOps(k), readerOps()},
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem, a := regMem(k, v0)
+			writer := func(p *sim.Proc) {
+				localMax := v0
+				for op, ok := srcs[0].Next(p); ok; op, ok = srcs[0].Next(p) {
+					v := checkWrite(op, k)
+					p.Invoke(op, !s.ReadOnly(op))
+					if v > localMax {
+						p.Write(a[v-1], 1)
+						clearDown(p, a, v)
+						localMax = v
+					} else {
+						// Every operation takes at least one step; a write
+						// that cannot raise the maximum re-reads the current
+						// maximum's cell, which leaves memory untouched.
+						p.Read(a[localMax-1])
+					}
+					p.Return(0)
+				}
+			}
+			reader := func(p *sim.Proc) {
+				for op, ok := srcs[1].Next(p); ok; op, ok = srcs[1].Next(p) {
+					checkRead(op)
+					p.Invoke(op, false)
+					val := Bot
+					// The 1 can only move upward, so a single upward scan
+					// always finds one: the read is wait-free.
+					for j := 1; j <= k; j++ {
+						if p.ReadInt(a[j-1]) == 1 {
+							val = j
+							break
+						}
+					}
+					p.Return(val)
+				}
+			}
+			return sim.NewRunner(mem, []sim.Program{writer, reader})
+		},
+	}
+}
+
+// NewSet returns the Section 5.1 set harness: one binary register per
+// element of {1..t}, insert/remove as blind writes and lookup as a read.
+// Every operation takes a single primitive step, so the implementation is
+// wait-free and perfect HI for any number of processes n.
+func NewSet(t, n int) *harness.Harness {
+	s := spec.NewSet(t)
+	allOps := s.Ops("")
+	procOps := make([][]core.Op, n)
+	for i := range procOps {
+		procOps[i] = allOps
+	}
+	return &harness.Harness{
+		Name:    fmt.Sprintf("set[t=%d,n=%d]", t, n),
+		Spec:    s,
+		ProcOps: procOps,
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem := sim.NewMemory()
+			cells := make([]*sim.Reg, t)
+			for v := 1; v <= t; v++ {
+				cells[v-1] = mem.NewBinReg(fmt.Sprintf("S%d", v), 0)
+			}
+			progs := make([]sim.Program, n)
+			for i := range progs {
+				src := srcs[i]
+				progs[i] = func(p *sim.Proc) {
+					for op, ok := src.Next(p); ok; op, ok = src.Next(p) {
+						switch op.Name {
+						case spec.OpInsert:
+							p.Invoke(op, true)
+							p.Write(cells[op.Arg-1], 1)
+							p.Return(0)
+						case spec.OpRemove:
+							p.Invoke(op, true)
+							p.Write(cells[op.Arg-1], 0)
+							p.Return(0)
+						case spec.OpLookup:
+							p.Invoke(op, false)
+							p.Return(p.ReadInt(cells[op.Arg-1]))
+						default:
+							panic(fmt.Sprintf("registers: set got unexpected op %v", op))
+						}
+					}
+				}
+			}
+			return sim.NewRunner(mem, progs)
+		},
+	}
+}

@@ -1,0 +1,495 @@
+package registers_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/linearize"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+var (
+	rd = core.Op{Name: spec.OpRead}
+	w  = func(v int) core.Op { return core.Op{Name: spec.OpWrite, Arg: v} }
+)
+
+// canonOrFatal builds the canonical map, failing the test on any violation.
+func canonOrFatal(t *testing.T, h *harness.Harness, maxOps, maxSteps int) *hicheck.Canon {
+	t.Helper()
+	c, err := hicheck.BuildCanon(h, maxOps, maxSteps)
+	if err != nil {
+		t.Fatalf("%s: %v", h.Name, err)
+	}
+	return c
+}
+
+// --- Algorithm 1 (Vidyasankar): correct but not history independent ---
+
+func TestAlg1NotSequentiallyHI(t *testing.T) {
+	h := registers.NewAlg1(3, 1)
+	_, err := hicheck.BuildCanon(h, 2, 200)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a sequential HI violation, got %v", err)
+	}
+	// The motivating example of Section 4: Write(2);Write(1) vs Write(1).
+	t.Logf("witness: %v", v)
+	if v.State == "" {
+		t.Error("violation should name the duplicated state")
+	}
+}
+
+func TestAlg1Linearizable(t *testing.T) {
+	h := registers.NewAlg1(3, 1)
+	scripts := [][]core.Op{{w(2), w(1), w(3)}, {rd, rd}}
+	err := sim.RandomTraces(h.Builder(scripts), 300, 1, 120, func(tr *sim.Trace) error {
+		return linearize.Check(h.Spec, tr.Events)
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlg1WaitFreeRead(t *testing.T) {
+	// Algorithm 1's read is wait-free: the reader completes regardless of
+	// schedule. Bound: up-scan K + down-scan K-1.
+	h := registers.NewAlg1(4, 1)
+	scripts := [][]core.Op{{w(3), w(2), w(4), w(1)}, {rd, rd, rd}}
+	err := sim.RandomTraces(h.Builder(scripts), 300, 7, 400, func(tr *sim.Trace) error {
+		if got := len(tr.Responses(1)); got != 3 {
+			return fmt.Errorf("reader completed %d of 3 reads", got)
+		}
+		if steps := tr.StepsBy(1); steps > 3*(2*4-1) {
+			return fmt.Errorf("reader took %d steps, exceeding the wait-free bound", steps)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Algorithm 2: lock-free, state-quiescent HI ---
+
+func TestAlg2SequentialCanonical(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	c := canonOrFatal(t, h, 3, 400)
+	if len(c.ByState) != 3 {
+		t.Fatalf("canonical map covers %d states, want 3", len(c.ByState))
+	}
+	for v := 1; v <= 3; v++ {
+		mem := c.ByState[fmt.Sprint(v)]
+		for j := 1; j <= 3; j++ {
+			want := "0"
+			if j == v {
+				want = "1"
+			}
+			if mem[j-1] != want {
+				t.Errorf("can(%d): A%d = %s, want %s (mem %v)", v, j, mem[j-1], want, mem)
+			}
+		}
+	}
+}
+
+func TestAlg2StateQuiescentHIExhaustive(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	c := canonOrFatal(t, h, 3, 400)
+	scripts := hicheck.Scripts(h, []int{1, 1})
+	n, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, 14, 300000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings (1 write, 1 read)", n)
+}
+
+func TestAlg2StateQuiescentHIExhaustiveTwoWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration skipped in -short mode")
+	}
+	h := registers.NewAlg2(3, 1)
+	c := canonOrFatal(t, h, 3, 400)
+	scripts := hicheck.Scripts(h, []int{2, 1})
+	n, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, 13, 1500000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings (2 writes, 1 read)", n)
+}
+
+func TestAlg2StateQuiescentHIFuzz(t *testing.T) {
+	h := registers.NewAlg2(4, 2)
+	c := canonOrFatal(t, h, 4, 800)
+	scripts := [][][]core.Op{
+		{{w(3), w(1), w(4), w(2)}, {rd, rd, rd}},
+		{{w(4), w(4), w(1)}, {rd, rd}},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 400, 11, 300, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlg2NotPerfectHI(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	c := canonOrFatal(t, h, 3, 400)
+	v := hicheck.FindViolation(c, h, hicheck.Scripts(h, []int{1, 0}), hicheck.Perfect, 10, 100000)
+	if v == nil {
+		t.Fatal("Algorithm 2 should violate perfect HI mid-write (Propositions 6/14)")
+	}
+	t.Logf("perfect-HI witness: %v", v)
+}
+
+func TestAlg2ReaderStarvation(t *testing.T) {
+	// The reader of Algorithm 2 is only lock-free: a writer alternating
+	// Write(1)/Write(3) at the right moments keeps every TryRead returning
+	// ⊥, so the Read never returns (consistent with Theorem 17: wait-free
+	// + state-quiescent HI from binary registers is impossible).
+	const m = 12 // writer operations
+	script0 := make([]core.Op, m)
+	for i := range script0 {
+		if i%2 == 0 {
+			script0[i] = w(1)
+		} else {
+			script0[i] = w(3)
+		}
+	}
+	h := registers.NewAlg2(3, 3)
+	// Cycle: reader reads A1,A2 (both 0), writer does Write (3 steps)
+	// landing the 1 where the reader already passed, reader reads A3 = 0.
+	// One adversary block: the reader reads A1 and A2 (both 0 while the
+	// value sits at 3), Write(1) moves the value below the reader's scan
+	// position, the reader reads A3 = 0 and fails its TryRead, and
+	// Write(3) moves the value back up before the next scan begins.
+	var sched []int
+	for i := 0; i < m/2; i++ {
+		sched = append(sched, 1, 1, 0, 0, 0, 1, 0, 0, 0)
+	}
+	r := h.BuildScripts([][]core.Op{script0, {rd}})
+	tr := r.Run(sim.FixedSchedule(sched), len(sched))
+	if got := len(tr.Responses(1)); got != 0 {
+		t.Fatalf("reader returned %d times; expected starvation", got)
+	}
+	if steps := tr.StepsBy(1); steps < 3*(m/2) {
+		t.Fatalf("reader took only %d steps", steps)
+	}
+	t.Logf("reader took %d steps without returning across %d writes", tr.StepsBy(1), m)
+}
+
+// --- Algorithm 4: wait-free, quiescent HI ---
+
+func TestAlg4SequentialCanonical(t *testing.T) {
+	h := registers.NewAlg4(3, 1)
+	c := canonOrFatal(t, h, 3, 800)
+	if len(c.ByState) != 3 {
+		t.Fatalf("canonical map covers %d states, want 3", len(c.ByState))
+	}
+	// Canonical form: A one-hot, B all zero, flags zero.
+	for v := 1; v <= 3; v++ {
+		mem := c.ByState[fmt.Sprint(v)]
+		fp := sim.Fingerprint(mem)
+		if strings.Count(fp, "1") != 1 {
+			t.Errorf("can(%d) = %s: expected exactly one 1", v, fp)
+		}
+	}
+}
+
+func TestAlg4QuiescentHIExhaustive(t *testing.T) {
+	h := registers.NewAlg4(3, 1)
+	c := canonOrFatal(t, h, 3, 800)
+	scripts := hicheck.Scripts(h, []int{1, 1})
+	n, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.Quiescent, 14, 600000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d interleavings", n)
+}
+
+func TestAlg4QuiescentHIFuzz(t *testing.T) {
+	h := registers.NewAlg4(3, 2)
+	c := canonOrFatal(t, h, 4, 800)
+	scripts := [][][]core.Op{
+		{{w(3), w(1), w(2)}, {rd, rd, rd}},
+		{{w(1), w(1), w(3)}, {rd, rd}},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.Quiescent, 400, 23, 400, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlg4NotStateQuiescentHI(t *testing.T) {
+	// While a Read is pending (flag[1] = 1) with no Write pending, the
+	// memory is not canonical: Algorithm 4 is quiescent HI only.
+	h := registers.NewAlg4(3, 1)
+	c := canonOrFatal(t, h, 3, 800)
+	v := hicheck.FindViolation(c, h, hicheck.Scripts(h, []int{0, 1}), hicheck.StateQuiescent, 6, 10000)
+	if v == nil {
+		t.Fatal("Algorithm 4 should violate state-quiescent HI while a read is pending")
+	}
+	t.Logf("state-quiescent witness: %v", v)
+}
+
+func TestAlg4WaitFreeRead(t *testing.T) {
+	// Wait-freedom: under random adversarial schedules every read
+	// completes, within a per-operation step bound.
+	const k = 3
+	h := registers.NewAlg4(k, 1)
+	scripts := [][]core.Op{{w(3), w(1), w(2), w(3), w(1)}, {rd, rd, rd}}
+	// Per-read bound: flag + 2 TryReads + B scan + flag + B clear + 2 flags.
+	bound := 1 + 2*(2*k-1) + k + 1 + k + 2
+	err := sim.RandomTraces(h.Builder(scripts), 500, 31, 600, func(tr *sim.Trace) error {
+		if got := len(tr.Responses(1)); got != 3 {
+			return fmt.Errorf("reader completed %d of 3 reads", got)
+		}
+		if steps := tr.StepsBy(1); steps > 3*bound {
+			return fmt.Errorf("reader took %d steps (> 3×%d)", steps, bound)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlg4LinearizableExhaustive(t *testing.T) {
+	h := registers.NewAlg4(3, 1)
+	c := canonOrFatal(t, h, 2, 800)
+	depth := 14
+	if !testing.Short() {
+		depth = 16
+	}
+	scripts := [][][]core.Op{{{w(2)}, {rd}}, {{w(3)}, {rd}}}
+	if _, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.Quiescent, depth, 600000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Algorithm 4 mutants (failure injection) ---
+
+func TestAlg4ReaderSilentViolatesCorrectness(t *testing.T) {
+	// Proposition 19: the reader must write. With all reader writes
+	// removed, a read overlapping two writes finds no value and returns ⊥.
+	h := registers.NewAlg4Mutant(3, 3, registers.Alg4ReaderSilent)
+	scripts := [][]core.Op{{w(1), w(3), w(1)}, {rd}}
+	// Writer op = 3 B-reads + 1 flag read + 3 A-writes = 7 steps.
+	var sched []int
+	sched = append(sched, 1, 1)                // reader: A1, A2 (both 0)
+	sched = append(sched, 0, 0, 0, 0, 0, 0, 0) // Write(1)
+	sched = append(sched, 1)                   // reader: A3 = 0, TryRead ⊥
+	sched = append(sched, 0, 0, 0, 0, 0, 0, 0) // Write(3)
+	sched = append(sched, 1, 1)                // reader: A1, A2
+	sched = append(sched, 0, 0, 0, 0, 0, 0, 0) // Write(1)
+	sched = append(sched, 1)                   // reader: A3 = 0, TryRead ⊥
+	sched = append(sched, 1, 1, 1)             // reader: B scan, all 0
+	r := h.BuildScripts(scripts)
+	tr := r.Run(sim.FixedSchedule(sched), 200)
+	resps := tr.Responses(1)
+	if len(resps) != 1 || resps[0] != registers.Bot {
+		t.Fatalf("reader responses = %v; expected the ⊥ response %d", resps, registers.Bot)
+	}
+	if err := linearize.Check(h.Spec, tr.Events); err == nil {
+		t.Fatal("history with a ⊥ read should not be linearizable")
+	}
+}
+
+func TestAlg4NoHelpViolatesCorrectness(t *testing.T) {
+	h := registers.NewAlg4Mutant(3, 3, registers.Alg4NoHelp)
+	scripts := [][]core.Op{{w(1), w(3), w(1)}, {rd}}
+	// Writer op without helping = 3 A-writes; reader starts with flag[1].
+	var sched []int
+	sched = append(sched, 1)       // flag[1] <- 1
+	sched = append(sched, 1, 1)    // A1, A2
+	sched = append(sched, 0, 0, 0) // Write(1)
+	sched = append(sched, 1)       // A3 = 0 -> ⊥
+	sched = append(sched, 0, 0, 0) // Write(3)
+	sched = append(sched, 1, 1)    // A1, A2
+	sched = append(sched, 0, 0, 0) // Write(1)
+	sched = append(sched, 1)       // A3 = 0 -> ⊥
+	sched = append(sched, 1, 1, 1) // B scan: empty, no helper
+	r := h.BuildScripts(scripts)
+	tr := r.Run(sim.FixedSchedule(sched), 200)
+	// Let the reader finish its bookkeeping.
+	if got := tr.Responses(1); len(got) == 0 {
+		// Reader still mid-cleanup; drive it to completion.
+		t.Fatalf("reader did not return (responses %v)", got)
+	}
+	if got := tr.Responses(1); got[0] != registers.Bot {
+		t.Fatalf("reader returned %d; expected ⊥", got[0])
+	}
+}
+
+func TestAlg4NoWriterBClearViolatesQuiescentHI(t *testing.T) {
+	h := registers.NewAlg4Mutant(3, 1, registers.Alg4NoWriterBClear)
+	c, err := hicheck.BuildCanon(h, 2, 800)
+	if err != nil {
+		t.Fatalf("sequential runs of the mutant are still canonical: %v", err)
+	}
+	// Reader announces, writer observes the flag, reader completes fully,
+	// then the writer helps a reader that is long gone and (mutant) never
+	// cleans up B.
+	scripts := [][]core.Op{{w(2)}, {rd}}
+	sch := &sim.Phases{List: []sim.Phase{
+		{PID: 1, Steps: 1},  // flag[1] <- 1
+		{PID: 0, Steps: 4},  // B scan (3) + flag[1] read
+		{PID: 1, Steps: 50}, // reader completes entirely
+		{PID: 0, Steps: 50}, // writer: B[last-val] <- 1, skipped clear, A writes
+	}}
+	tr := h.BuildScripts(scripts).Run(sch, 200)
+	if tr.Truncated {
+		t.Fatal("execution did not quiesce")
+	}
+	err = hicheck.CheckTrace(c, tr, hicheck.Quiescent)
+	var v *hicheck.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a quiescent HI violation, got %v", err)
+	}
+	t.Logf("mutant witness: %v", v)
+}
+
+func TestAlg4FullSurvivesBClearSchedule(t *testing.T) {
+	// The same schedule on the faithful algorithm leaves canonical memory.
+	h := registers.NewAlg4(3, 1)
+	c := canonOrFatal(t, h, 2, 800)
+	scripts := [][]core.Op{{w(2)}, {rd}}
+	sch := &sim.Phases{List: []sim.Phase{
+		{PID: 1, Steps: 1}, {PID: 0, Steps: 4}, {PID: 1, Steps: 50}, {PID: 0, Steps: 50},
+	}}
+	tr := h.BuildScripts(scripts).Run(sch, 200)
+	if err := hicheck.CheckTrace(c, tr, hicheck.Quiescent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Max register (Section 5.1) ---
+
+func TestMaxRegStateQuiescentHI(t *testing.T) {
+	h := registers.NewMaxReg(3, 1)
+	c := canonOrFatal(t, h, 3, 400)
+	scripts := hicheck.Scripts(h, []int{1, 1})
+	if _, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, 12, 300000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRegWaitFreeAndLinearizableFuzz(t *testing.T) {
+	h := registers.NewMaxReg(4, 1)
+	c := canonOrFatal(t, h, 4, 400)
+	scripts := [][][]core.Op{
+		{{w(2), w(4), w(1), w(3)}, {rd, rd, rd}},
+		{{w(3), w(3), w(4)}, {rd, rd}},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 400, 41, 300, true); err != nil {
+		t.Fatal(err)
+	}
+	// Wait-freedom: the reader's scan is bounded by K per read.
+	err := sim.RandomTraces(h.Builder(scripts[0]), 300, 43, 300, func(tr *sim.Trace) error {
+		if got := len(tr.Responses(1)); got != 3 {
+			return fmt.Errorf("reader completed %d of 3 reads", got)
+		}
+		if steps := tr.StepsBy(1); steps > 3*4 {
+			return fmt.Errorf("reader took %d steps", steps)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Set (Section 5.1): wait-free perfect HI ---
+
+func setOps(t int) (ins, rem, look func(v int) core.Op) {
+	ins = func(v int) core.Op { return core.Op{Name: spec.OpInsert, Arg: v} }
+	rem = func(v int) core.Op { return core.Op{Name: spec.OpRemove, Arg: v} }
+	look = func(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+	return
+}
+
+func TestSetPerfectHIExhaustive(t *testing.T) {
+	h := registers.NewSet(2, 2)
+	c := canonOrFatal(t, h, 3, 200)
+	if d := c.MaxCanonDistance(); d > 1 {
+		t.Errorf("adjacent canonical representations at distance %d; perfect HI needs <= 1 (Proposition 6)", d)
+	}
+	ins, rem, look := setOps(2)
+	scripts := [][][]core.Op{
+		{{ins(1), rem(1)}, {ins(1), look(1)}},
+		{{ins(2), ins(1)}, {rem(2), look(2)}},
+		{{rem(1), ins(2)}, {look(1), ins(2)}},
+	}
+	if _, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.Perfect, 10, 200000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPerfectHIFuzz(t *testing.T) {
+	h := registers.NewSet(3, 3)
+	c := canonOrFatal(t, h, 3, 200)
+	ins, rem, look := setOps(3)
+	scripts := [][][]core.Op{
+		{
+			{ins(1), ins(2), rem(1), look(2)},
+			{ins(3), rem(2), look(1)},
+			{rem(3), ins(1), look(3)},
+		},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.Perfect, 500, 53, 200, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Queue with Peek from binary registers (extension, Section 5.4 target) ---
+
+func enq(v int) core.Op { return core.Op{Name: spec.OpEnq, Arg: v} }
+
+var (
+	deq  = core.Op{Name: spec.OpDeq}
+	peek = core.Op{Name: spec.OpPeek}
+)
+
+func TestHIQueueSequentialCanonical(t *testing.T) {
+	h := registers.NewHIQueue(2, 2)
+	c := canonOrFatal(t, h, 4, 800)
+	// All 7 queue states should be reachable and have canonical forms.
+	if len(c.ByState) != 7 {
+		t.Errorf("canonical map covers %d states, want 7", len(c.ByState))
+	}
+	// Canonical form of state "2,1": c0_2=1, c1_1=1, nonempty=1.
+	mem, ok := c.ByState["2,1"]
+	if !ok {
+		t.Fatal("state 2,1 not covered")
+	}
+	if fp := sim.Fingerprint(mem); strings.Count(fp, "1") != 3 {
+		t.Errorf("can(2,1) = %s", fp)
+	}
+}
+
+func TestHIQueueStateQuiescentHIExhaustive(t *testing.T) {
+	h := registers.NewHIQueue(2, 2)
+	c := canonOrFatal(t, h, 4, 800)
+	scripts := [][][]core.Op{
+		{{enq(1), deq}, {peek}},
+		{{enq(2), enq(1)}, {peek}},
+		{{enq(1), enq(2), deq}, {peek}},
+	}
+	if _, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, 13, 900000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHIQueueFuzz(t *testing.T) {
+	h := registers.NewHIQueue(3, 3)
+	c := canonOrFatal(t, h, 4, 1200)
+	scripts := [][][]core.Op{
+		{{enq(1), enq(2), deq, enq(3), deq}, {peek, peek, peek}},
+		{{enq(2), deq, deq, enq(1)}, {peek, peek}},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 400, 61, 400, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"runtime"
+
+	"hiconc/internal/core"
+)
+
+// Program is the code a single process runs: a sequence of high-level
+// operations implemented in terms of primitive steps on base objects via the
+// Proc handle. A Program returns when the process has no more operations to
+// perform.
+type Program func(p *Proc)
+
+type msgKind int
+
+const (
+	msgPrim msgKind = iota + 1
+	msgInvoke
+	msgReturn
+	msgPause
+	msgDone
+)
+
+type procMsg struct {
+	kind          msgKind
+	prim          Prim
+	op            core.Op
+	stateChanging bool
+	resp          int
+}
+
+// Proc is the handle through which a program issues primitive steps and
+// operation bookkeeping. Every primitive method blocks until the scheduler
+// grants the process a step, so the runner controls the interleaving
+// exactly. Proc methods must only be called from the program's goroutine.
+type Proc struct {
+	// ID is the process index p_i, 0-based.
+	ID int
+	// N is the total number of processes in the system.
+	N int
+
+	out   chan procMsg
+	grant chan Value
+	quit  <-chan struct{}
+}
+
+// send delivers a message to the runner, or terminates the goroutine if the
+// runner has stopped.
+func (p *Proc) send(m procMsg) {
+	select {
+	case p.out <- m:
+	case <-p.quit:
+		runtime.Goexit()
+	}
+}
+
+// await blocks until the runner grants the pending request.
+func (p *Proc) await() Value {
+	select {
+	case v := <-p.grant:
+		return v
+	case <-p.quit:
+		runtime.Goexit()
+		return nil
+	}
+}
+
+// exec performs one primitive step and returns its result.
+func (p *Proc) exec(pr Prim) Value {
+	p.send(procMsg{kind: msgPrim, prim: pr})
+	return p.await()
+}
+
+// Read performs an atomic read of register r.
+func (p *Proc) Read(r *Reg) Value {
+	return p.exec(Prim{Kind: PrimRead, Obj: r})
+}
+
+// ReadInt reads register r and returns its value as an int.
+func (p *Proc) ReadInt(r *Reg) int {
+	return p.Read(r).(int)
+}
+
+// Write performs an atomic write of v to register r.
+func (p *Proc) Write(r *Reg, v Value) {
+	p.exec(Prim{Kind: PrimWrite, Obj: r, Arg1: v})
+}
+
+// ReadCAS performs an atomic read of CAS object c.
+func (p *Proc) ReadCAS(c *CASObj) Value {
+	return p.exec(Prim{Kind: PrimRead, Obj: c})
+}
+
+// WriteCAS performs an atomic write of v to CAS object c.
+func (p *Proc) WriteCAS(c *CASObj, v Value) {
+	p.exec(Prim{Kind: PrimWrite, Obj: c, Arg1: v})
+}
+
+// CAS performs an atomic compare-and-swap on c: if c holds old it is set to
+// new and CAS returns true; otherwise c is unchanged and CAS returns false.
+func (p *Proc) CAS(c *CASObj, old, new Value) bool {
+	return p.exec(Prim{Kind: PrimCAS, Obj: c, Arg1: old, Arg2: new}).(bool)
+}
+
+// LL load-links cell c: it adds this process to c's context and returns c's
+// value.
+func (p *Proc) LL(c *LLSCCell) Value {
+	return p.exec(Prim{Kind: PrimLL, Obj: c})
+}
+
+// VL validates the link: it reports whether this process is in c's context.
+func (p *Proc) VL(c *LLSCCell) bool {
+	return p.exec(Prim{Kind: PrimVL, Obj: c}).(bool)
+}
+
+// SC store-conditionally writes v to c: it succeeds iff this process is in
+// c's context, in which case the context is reset.
+func (p *Proc) SC(c *LLSCCell, v Value) bool {
+	return p.exec(Prim{Kind: PrimSC, Obj: c, Arg1: v}).(bool)
+}
+
+// RL releases this process's link on c (removes it from the context).
+func (p *Proc) RL(c *LLSCCell) {
+	p.exec(Prim{Kind: PrimRL, Obj: c})
+}
+
+// Load reads c's value without touching the context.
+func (p *Proc) Load(c *LLSCCell) Value {
+	return p.exec(Prim{Kind: PrimLoad, Obj: c})
+}
+
+// Store writes v to c and resets the context.
+func (p *Proc) Store(c *LLSCCell, v Value) {
+	p.exec(Prim{Kind: PrimStore, Obj: c, Arg1: v})
+}
+
+// Invoke records the invocation of a high-level operation. The invocation is
+// attached to the process's next primitive step, so a process with no steps
+// taken yet on an operation is not considered pending in earlier
+// configurations. stateChanging must reflect the operation's classification
+// per Section 3 (used to identify state-quiescent configurations).
+func (p *Proc) Invoke(op core.Op, stateChanging bool) {
+	p.send(procMsg{kind: msgInvoke, op: op, stateChanging: stateChanging})
+}
+
+// Return records the response of the process's current operation.
+func (p *Proc) Return(resp int) {
+	p.send(procMsg{kind: msgReturn, resp: resp})
+}
+
+// Pause parks the process until the controller resumes it. While paused the
+// process is not runnable. Pause is used by adaptive drivers (for example
+// the Theorem 17 adversary) that decide a process's next operations on the
+// fly.
+func (p *Proc) Pause() {
+	p.send(procMsg{kind: msgPause})
+	p.await()
+}

@@ -1,0 +1,110 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hiconc/internal/core"
+	"hiconc/internal/sim"
+)
+
+// TestQuickScheduleDeterminism: for any seed, running the same random
+// schedule twice produces identical traces — the property the whole
+// replay-based exploration stack rests on.
+func TestQuickScheduleDeterminism(t *testing.T) {
+	build := func() *sim.Runner {
+		mem := sim.NewMemory()
+		x := mem.NewReg("x", 0)
+		y := mem.NewCAS("y", 0)
+		prog := func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				p.Invoke(core.Op{Name: "op"}, true)
+				v := p.ReadInt(x)
+				p.Write(x, v+1)
+				p.CAS(y, v, v+1)
+				p.Return(v)
+			}
+		}
+		return sim.NewRunner(mem, []sim.Program{prog, prog, prog})
+	}
+	f := func(seed int64) bool {
+		t1 := build().Run(sim.NewRandomSched(seed), 200)
+		t2 := build().Run(sim.NewRandomSched(seed), 200)
+		if len(t1.Steps) != len(t2.Steps) {
+			return false
+		}
+		for k := range t1.Steps {
+			if t1.Steps[k].PID != t2.Steps[k].PID {
+				return false
+			}
+			if sim.Fingerprint(t1.Steps[k].Mem) != sim.Fingerprint(t2.Steps[k].Mem) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScheduleReplay: replaying the pid sequence extracted from any
+// random trace reproduces that trace exactly.
+func TestQuickScheduleReplay(t *testing.T) {
+	build := func() *sim.Runner {
+		mem := sim.NewMemory()
+		x := mem.NewReg("x", 0)
+		prog := func(v int) sim.Program {
+			return func(p *sim.Proc) {
+				for i := 0; i < 4; i++ {
+					p.Invoke(core.Op{Name: "w"}, true)
+					p.Write(x, v*10+i)
+					p.Return(0)
+				}
+			}
+		}
+		return sim.NewRunner(mem, []sim.Program{prog(1), prog(2)})
+	}
+	f := func(seed int64) bool {
+		orig := build().Run(sim.NewRandomSched(seed), 100)
+		replay := build().Run(sim.FixedSchedule(orig.Schedule()), 100)
+		return sim.Fingerprint(orig.MemAt(len(orig.Steps))) ==
+			sim.Fingerprint(replay.MemAt(len(replay.Steps))) &&
+			len(orig.Steps) == len(replay.Steps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConfigCountsNonNegative: pending-operation counters never go
+// negative and end at zero on completed runs.
+func TestQuickConfigCountsNonNegative(t *testing.T) {
+	build := func() *sim.Runner {
+		mem := sim.NewMemory()
+		x := mem.NewReg("x", 0)
+		prog := func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				p.Invoke(core.Op{Name: "rmw"}, i%2 == 0)
+				v := p.ReadInt(x)
+				p.Write(x, v+1)
+				p.Return(v)
+			}
+		}
+		return sim.NewRunner(mem, []sim.Program{prog, prog})
+	}
+	f := func(seed int64) bool {
+		tr := build().Run(sim.NewRandomSched(seed), 200)
+		configs := tr.Configs()
+		for _, c := range configs {
+			if c.Pending < 0 || c.PendingSC < 0 || c.PendingSC > c.Pending {
+				return false
+			}
+		}
+		last := configs[len(configs)-1]
+		return last.Pending == 0 && last.PendingSC == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

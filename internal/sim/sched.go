@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math/rand"
+)
+
+// Scheduler chooses which runnable process takes the next step; it is the
+// adversary of the asynchronous model.
+type Scheduler interface {
+	// Next returns the pid to step, chosen from runnable (never empty).
+	Next(stepIdx int, runnable []int) int
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(stepIdx int, runnable []int) int
+
+// Next implements Scheduler.
+func (f SchedulerFunc) Next(stepIdx int, runnable []int) int { return f(stepIdx, runnable) }
+
+// RoundRobin cycles through the runnable processes starting from the lowest
+// pid, giving each quantum consecutive steps (quantum 1 is a fair
+// alternation). The zero value is ready to use.
+type RoundRobin struct {
+	// Quantum is the number of consecutive steps per process (>= 1).
+	Quantum int
+
+	next  int // lowest pid eligible for the next pick
+	last  int
+	count int
+}
+
+// Next implements Scheduler.
+func (rr *RoundRobin) Next(_ int, runnable []int) int {
+	q := rr.Quantum
+	if q < 1 {
+		q = 1
+	}
+	// Continue with the same process while its quantum lasts.
+	if rr.count > 0 && rr.count < q {
+		for _, pid := range runnable {
+			if pid == rr.last {
+				rr.count++
+				return pid
+			}
+		}
+	}
+	// Pick the first runnable pid at or after next, wrapping around.
+	pick := runnable[0]
+	for _, pid := range runnable {
+		if pid >= rr.next {
+			pick = pid
+			break
+		}
+	}
+	rr.next = pick + 1
+	rr.last = pick
+	rr.count = 1
+	return pick
+}
+
+// RandomSched picks a uniformly random runnable process at every step,
+// deterministically from its seed.
+type RandomSched struct {
+	rng *rand.Rand
+}
+
+// NewRandomSched returns a seeded random scheduler.
+func NewRandomSched(seed int64) *RandomSched {
+	return &RandomSched{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *RandomSched) Next(_ int, runnable []int) int {
+	return runnable[s.rng.Intn(len(runnable))]
+}
+
+// FixedSchedule replays an explicit pid sequence; once the sequence is
+// exhausted it falls back to the first runnable process. If the scheduled
+// pid is not runnable it also falls back to the first runnable process.
+type FixedSchedule []int
+
+// Next implements Scheduler.
+func (f FixedSchedule) Next(stepIdx int, runnable []int) int {
+	if stepIdx < len(f) {
+		want := f[stepIdx]
+		for _, pid := range runnable {
+			if pid == want {
+				return pid
+			}
+		}
+	}
+	return runnable[0]
+}
+
+// Phase is one segment of a Phases schedule: PID runs for Steps steps.
+type Phase struct {
+	// PID takes the steps of this phase.
+	PID int
+	// Steps is the phase length in primitive steps.
+	Steps int
+}
+
+// Phases runs an explicit sequence of per-process step quotas, then falls
+// back to the first runnable process. If the phase's process is not runnable
+// the phase is skipped. Phases is the workhorse for hand-crafted adversarial
+// schedules reproducing the paper's proof scenarios (Figures 2, 4, 5).
+type Phases struct {
+	// List is the phase sequence.
+	List []Phase
+
+	idx  int
+	used int
+}
+
+// Next implements Scheduler.
+func (p *Phases) Next(_ int, runnable []int) int {
+	for p.idx < len(p.List) {
+		ph := p.List[p.idx]
+		if p.used >= ph.Steps {
+			p.idx++
+			p.used = 0
+			continue
+		}
+		for _, pid := range runnable {
+			if pid == ph.PID {
+				p.used++
+				return pid
+			}
+		}
+		p.idx++
+		p.used = 0
+	}
+	return runnable[0]
+}
+
+// SoloThen schedules process solo for steps steps, then delegates to next.
+// It is a convenient building block for adversarial schedules.
+type SoloThen struct {
+	// PID runs alone for the first Steps steps.
+	PID int
+	// Steps is the length of the solo prefix.
+	Steps int
+	// Then schedules the remainder.
+	Then Scheduler
+}
+
+// Next implements Scheduler.
+func (s *SoloThen) Next(stepIdx int, runnable []int) int {
+	if stepIdx < s.Steps {
+		for _, pid := range runnable {
+			if pid == s.PID {
+				return pid
+			}
+		}
+	}
+	return s.Then.Next(stepIdx, runnable)
+}

@@ -1,0 +1,85 @@
+package sim_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/sim"
+)
+
+func writerProg(x *sim.Reg, val, n int) sim.Program {
+	return func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Invoke(core.Op{Name: "w"}, true)
+			p.Write(x, val)
+			p.Return(0)
+		}
+	}
+}
+
+func TestRoundRobinQuantum(t *testing.T) {
+	mem := sim.NewMemory()
+	x := mem.NewReg("x", 0)
+	r := sim.NewRunner(mem, []sim.Program{writerProg(x, 1, 4), writerProg(x, 2, 4)})
+	tr := r.Run(&sim.RoundRobin{Quantum: 2}, 100)
+	want := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	if got := tr.Schedule(); !reflect.DeepEqual(got, want) {
+		t.Errorf("schedule = %v, want %v", got, want)
+	}
+}
+
+func TestSoloThen(t *testing.T) {
+	mem := sim.NewMemory()
+	x := mem.NewReg("x", 0)
+	r := sim.NewRunner(mem, []sim.Program{writerProg(x, 1, 3), writerProg(x, 2, 3)})
+	s := &sim.SoloThen{PID: 1, Steps: 2, Then: &sim.RoundRobin{}}
+	tr := r.Run(s, 100)
+	got := tr.Schedule()
+	if got[0] != 1 || got[1] != 1 {
+		t.Errorf("solo prefix not respected: %v", got)
+	}
+}
+
+func TestSchedulerFunc(t *testing.T) {
+	mem := sim.NewMemory()
+	x := mem.NewReg("x", 0)
+	r := sim.NewRunner(mem, []sim.Program{writerProg(x, 1, 2), writerProg(x, 2, 2)})
+	always1 := sim.SchedulerFunc(func(_ int, runnable []int) int {
+		return runnable[len(runnable)-1]
+	})
+	tr := r.Run(always1, 100)
+	// The last runnable pid goes first until it finishes.
+	if got := tr.Schedule(); !reflect.DeepEqual(got[:2], []int{1, 1}) {
+		t.Errorf("schedule = %v", got)
+	}
+}
+
+func TestFixedScheduleFallback(t *testing.T) {
+	mem := sim.NewMemory()
+	x := mem.NewReg("x", 0)
+	r := sim.NewRunner(mem, []sim.Program{writerProg(x, 1, 2), writerProg(x, 2, 2)})
+	// Schedule names pid 1 beyond its available steps; the fallback picks
+	// the first runnable process so the run still completes.
+	tr := r.Run(sim.FixedSchedule{1, 1, 1, 1, 1, 1}, 100)
+	if tr.Truncated {
+		t.Fatal("run did not complete")
+	}
+	if got := len(tr.Steps); got != 4 {
+		t.Errorf("steps = %d, want 4", got)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	mem := sim.NewMemory()
+	x := mem.NewReg("x", 0)
+	r := sim.NewRunner(mem, []sim.Program{writerProg(x, 1, 1)})
+	tr := r.Run(&sim.RoundRobin{}, 100)
+	out := tr.String()
+	for _, needle := range []string{"initial:", "p0 invokes", "p0 returns", "write(x, 1)"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("trace rendering missing %q:\n%s", needle, out)
+		}
+	}
+}

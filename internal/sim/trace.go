@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/core"
+)
+
+// EventKind distinguishes invocation and response events in a history.
+type EventKind int
+
+// Event kinds.
+const (
+	EvInvoke EventKind = iota + 1
+	EvReturn
+)
+
+// Event is an invocation or response of a high-level operation (the entries
+// of the history H(α) in Section 2).
+type Event struct {
+	Kind EventKind
+	// PID is the invoking process.
+	PID int
+	// OpIndex numbers the operations of each process from 0.
+	OpIndex int
+	// Op is the abstract operation (set on both invoke and return events).
+	Op core.Op
+	// StateChanging reports the operation's classification (Section 3).
+	StateChanging bool
+	// Resp is the operation's response (return events only).
+	Resp int
+	// StepIndex is the number of primitive steps executed before this
+	// event: the event happens in configuration C_{StepIndex}.
+	StepIndex int
+}
+
+// Step is one primitive step of the execution together with the memory
+// representation of the configuration it produces.
+type Step struct {
+	// PID is the process that took the step.
+	PID int
+	// Prim is the primitive executed.
+	Prim Prim
+	// Result is the primitive's result.
+	Result Value
+	// Mem is the memory representation after the step (nil when snapshots
+	// are disabled).
+	Mem []string
+}
+
+// Trace records an execution α: the initial memory representation, every
+// step with its resulting configuration, and the history of invocations and
+// responses.
+type Trace struct {
+	// NumProcs is the number of processes.
+	NumProcs int
+	// ObjNames are the base object names, in memory-index order.
+	ObjNames []string
+	// Initial is mem(C_0).
+	Initial []string
+	// Steps are the executed primitive steps, in order.
+	Steps []Step
+	// Events is the history H(α), in real-time order.
+	Events []Event
+	// Truncated reports that the run hit its step bound with runnable
+	// processes remaining.
+	Truncated bool
+}
+
+// MemAt returns the memory representation of configuration C_k (after k
+// steps); k = 0 is the initial configuration.
+func (t *Trace) MemAt(k int) []string {
+	if k == 0 {
+		return t.Initial
+	}
+	return t.Steps[k-1].Mem
+}
+
+// NumConfigs returns the number of configurations in the trace (steps + 1).
+func (t *Trace) NumConfigs() int { return len(t.Steps) + 1 }
+
+// Config describes one configuration of the execution for history-
+// independence checking.
+type Config struct {
+	// Index is k for configuration C_k.
+	Index int
+	// Mem is mem(C_k).
+	Mem []string
+	// Pending is the number of pending operations.
+	Pending int
+	// PendingSC is the number of pending state-changing operations.
+	PendingSC int
+}
+
+// Quiescent reports whether no operation is pending (Definition 8's
+// observation class).
+func (c Config) Quiescent() bool { return c.Pending == 0 }
+
+// StateQuiescent reports whether no state-changing operation is pending
+// (Definition 7's observation class).
+func (c Config) StateQuiescent() bool { return c.PendingSC == 0 }
+
+// Configs computes the per-configuration pending-operation counts of the
+// trace. The result has NumConfigs entries.
+func (t *Trace) Configs() []Config {
+	n := t.NumConfigs()
+	configs := make([]Config, n)
+	// Delta arrays: changes to pending counts at each configuration index.
+	dPending := make([]int, n+1)
+	dSC := make([]int, n+1)
+	for _, ev := range t.Events {
+		idx := ev.StepIndex
+		if idx >= n {
+			idx = n - 1
+		}
+		switch ev.Kind {
+		case EvInvoke:
+			dPending[idx]++
+			if ev.StateChanging {
+				dSC[idx]++
+			}
+		case EvReturn:
+			dPending[idx]--
+			if ev.StateChanging {
+				dSC[idx]--
+			}
+		}
+	}
+	pending, sc := 0, 0
+	for k := 0; k < n; k++ {
+		pending += dPending[k]
+		sc += dSC[k]
+		configs[k] = Config{Index: k, Mem: t.MemAt(k), Pending: pending, PendingSC: sc}
+	}
+	return configs
+}
+
+// CompletedOps returns, in response order, the operations that completed in
+// the trace, belonging to the given process (or all processes if pid < 0).
+func (t *Trace) CompletedOps(pid int) []core.Op {
+	var ops []core.Op
+	for _, ev := range t.Events {
+		if ev.Kind == EvReturn && (pid < 0 || ev.PID == pid) {
+			ops = append(ops, ev.Op)
+		}
+	}
+	return ops
+}
+
+// Responses returns the responses of process pid's completed operations in
+// order.
+func (t *Trace) Responses(pid int) []int {
+	var resps []int
+	for _, ev := range t.Events {
+		if ev.Kind == EvReturn && ev.PID == pid {
+			resps = append(resps, ev.Resp)
+		}
+	}
+	return resps
+}
+
+// StepsBy returns the number of primitive steps taken by process pid.
+func (t *Trace) StepsBy(pid int) int {
+	n := 0
+	for _, s := range t.Steps {
+		if s.PID == pid {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule returns the sequence of process ids that took steps, which
+// replays this trace when passed to a fresh runner via FixedSchedule.
+func (t *Trace) Schedule() []int {
+	sched := make([]int, len(t.Steps))
+	for i, s := range t.Steps {
+		sched[i] = s.PID
+	}
+	return sched
+}
+
+// String renders the trace compactly for debugging.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "initial: %s\n", Fingerprint(t.Initial))
+	evIdx := 0
+	emit := func(upto int) {
+		for evIdx < len(t.Events) && t.Events[evIdx].StepIndex <= upto {
+			ev := t.Events[evIdx]
+			switch ev.Kind {
+			case EvInvoke:
+				fmt.Fprintf(&b, "  p%d invokes %v\n", ev.PID, ev.Op)
+			case EvReturn:
+				fmt.Fprintf(&b, "  p%d returns %d from %v\n", ev.PID, ev.Resp, ev.Op)
+			}
+			evIdx++
+		}
+	}
+	emit(-1)
+	for k, s := range t.Steps {
+		// Invokes attached to step k+1 happen before the step executes.
+		for evIdx < len(t.Events) && t.Events[evIdx].StepIndex == k+1 && t.Events[evIdx].Kind == EvInvoke {
+			fmt.Fprintf(&b, "  p%d invokes %v\n", t.Events[evIdx].PID, t.Events[evIdx].Op)
+			evIdx++
+		}
+		fmt.Fprintf(&b, "%4d p%d %v = %v | %s\n", k+1, s.PID, s.Prim, s.Result, Fingerprint(s.Mem))
+		emit(k + 1)
+	}
+	emit(len(t.Steps) + 1)
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+
+	"hiconc/internal/core"
+)
+
+// Counter is a bounded counter supporting fetch-and-increment,
+// fetch-and-decrement and read. Increments saturate at Max and decrements at
+// 0, which keeps the state space finite for model checking. The fetch
+// operations return the *previous* value, as in the fetch-and-increment /
+// fetch-and-decrement counter discussed in Section 6.1 of the paper.
+type Counter struct {
+	// Max is the largest attainable value; states are "0".."Max".
+	Max int
+	// V0 is the initial value.
+	V0 int
+}
+
+var _ core.Spec = Counter{}
+
+// NewCounter returns a bounded counter specification.
+func NewCounter(max, v0 int) Counter {
+	if max < 1 || v0 < 0 || v0 > max {
+		panic(fmt.Sprintf("spec: invalid counter parameters max=%d v0=%d", max, v0))
+	}
+	return Counter{Max: max, V0: v0}
+}
+
+// Name implements core.Spec.
+func (c Counter) Name() string { return fmt.Sprintf("counter[max=%d]", c.Max) }
+
+// Init implements core.Spec.
+func (c Counter) Init() string { return strconv.Itoa(c.V0) }
+
+// Apply implements core.Spec.
+func (c Counter) Apply(state string, op core.Op) (string, int) {
+	cur := mustAtoi(state)
+	switch op.Name {
+	case OpRead:
+		return state, cur
+	case OpInc:
+		if cur < c.Max {
+			return strconv.Itoa(cur + 1), cur
+		}
+		return state, cur
+	case OpDec:
+		if cur > 0 {
+			return strconv.Itoa(cur - 1), cur
+		}
+		return state, cur
+	default:
+		panic("spec: counter: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec.
+func (c Counter) ReadOnly(op core.Op) bool { return op.Name == OpRead }
+
+// Ops implements core.Spec.
+func (c Counter) Ops(string) []core.Op {
+	return []core.Op{{Name: OpRead}, {Name: OpInc}, {Name: OpDec}}
+}

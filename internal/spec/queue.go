@@ -1,0 +1,176 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hiconc/internal/core"
+)
+
+// Queue is a bounded FIFO queue with a Peek operation, over the element
+// domain {1..T}, exactly as in Section 5.4: Enqueue(v) appends v (a no-op
+// when the queue is full, to keep the state space bounded), Dequeue removes
+// and returns the first element (response r0 = 0 when empty), and Peek
+// returns the first element without removing it (response 0 when empty).
+// Enqueue returns the default response r0 = 0.
+type Queue struct {
+	// T is the element domain size; elements are 1..T.
+	T int
+	// Cap bounds the queue length.
+	Cap int
+}
+
+var _ core.Spec = Queue{}
+
+// NewQueue returns a bounded queue-with-Peek specification.
+func NewQueue(t, capacity int) Queue {
+	if t < 1 || capacity < 1 {
+		panic(fmt.Sprintf("spec: invalid queue parameters t=%d cap=%d", t, capacity))
+	}
+	return Queue{T: t, Cap: capacity}
+}
+
+// Name implements core.Spec.
+func (q Queue) Name() string { return fmt.Sprintf("queue[t=%d,cap=%d]", q.T, q.Cap) }
+
+// Init implements core.Spec. The initial state is the empty queue.
+func (q Queue) Init() string { return "" }
+
+// Apply implements core.Spec.
+func (q Queue) Apply(state string, op core.Op) (string, int) {
+	elems := decodeSeq(state)
+	switch op.Name {
+	case OpEnq:
+		if op.Arg < 1 || op.Arg > q.T {
+			panic(fmt.Sprintf("spec: enq(%d) out of range 1..%d", op.Arg, q.T))
+		}
+		if len(elems) >= q.Cap {
+			return state, 0
+		}
+		return encodeSeq(append(elems, op.Arg)), 0
+	case OpDeq:
+		if len(elems) == 0 {
+			return state, 0
+		}
+		return encodeSeq(elems[1:]), elems[0]
+	case OpPeek:
+		if len(elems) == 0 {
+			return state, 0
+		}
+		return state, elems[0]
+	default:
+		panic("spec: queue: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec.
+func (q Queue) ReadOnly(op core.Op) bool { return op.Name == OpPeek }
+
+// Ops implements core.Spec.
+func (q Queue) Ops(string) []core.Op {
+	ops := make([]core.Op, 0, q.T+2)
+	ops = append(ops, core.Op{Name: OpPeek}, core.Op{Name: OpDeq})
+	for v := 1; v <= q.T; v++ {
+		ops = append(ops, core.Op{Name: OpEnq, Arg: v})
+	}
+	return ops
+}
+
+// Stack is a bounded LIFO stack over the element domain {1..T}, used as an
+// additional client of the universal construction. Push on a full stack is a
+// no-op; Pop and Top return 0 on an empty stack.
+type Stack struct {
+	// T is the element domain size; elements are 1..T.
+	T int
+	// Cap bounds the stack depth.
+	Cap int
+}
+
+var _ core.Spec = Stack{}
+
+// NewStack returns a bounded stack specification.
+func NewStack(t, capacity int) Stack {
+	if t < 1 || capacity < 1 {
+		panic(fmt.Sprintf("spec: invalid stack parameters t=%d cap=%d", t, capacity))
+	}
+	return Stack{T: t, Cap: capacity}
+}
+
+// Name implements core.Spec.
+func (s Stack) Name() string { return fmt.Sprintf("stack[t=%d,cap=%d]", s.T, s.Cap) }
+
+// Init implements core.Spec.
+func (s Stack) Init() string { return "" }
+
+// Apply implements core.Spec.
+func (s Stack) Apply(state string, op core.Op) (string, int) {
+	elems := decodeSeq(state)
+	switch op.Name {
+	case OpPush:
+		if op.Arg < 1 || op.Arg > s.T {
+			panic(fmt.Sprintf("spec: push(%d) out of range 1..%d", op.Arg, s.T))
+		}
+		if len(elems) >= s.Cap {
+			return state, 0
+		}
+		return encodeSeq(append(elems, op.Arg)), 0
+	case OpPop:
+		if len(elems) == 0 {
+			return state, 0
+		}
+		return encodeSeq(elems[:len(elems)-1]), elems[len(elems)-1]
+	case OpTop:
+		if len(elems) == 0 {
+			return state, 0
+		}
+		return state, elems[len(elems)-1]
+	default:
+		panic("spec: stack: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec.
+func (s Stack) ReadOnly(op core.Op) bool { return op.Name == OpTop }
+
+// Ops implements core.Spec.
+func (s Stack) Ops(string) []core.Op {
+	ops := make([]core.Op, 0, s.T+2)
+	ops = append(ops, core.Op{Name: OpTop}, core.Op{Name: OpPop})
+	for v := 1; v <= s.T; v++ {
+		ops = append(ops, core.Op{Name: OpPush, Arg: v})
+	}
+	return ops
+}
+
+// decodeSeq parses a comma-separated element sequence ("" = empty).
+func decodeSeq(state string) []int {
+	if state == "" {
+		return nil
+	}
+	parts := strings.Split(state, ",")
+	elems := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			panic("spec: bad sequence state " + strconv.Quote(state))
+		}
+		elems[i] = v
+	}
+	return elems
+}
+
+// encodeSeq renders an element sequence as a comma-separated string.
+func encodeSeq(elems []int) string {
+	if len(elems) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, v := range elems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}

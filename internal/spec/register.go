@@ -1,0 +1,162 @@
+// Package spec provides deterministic sequential specifications (Section 2)
+// for the abstract objects studied in the paper: multi-valued registers and
+// max registers (Section 4, Section 5.1), sets (Section 5.1), queues with
+// Peek (Section 5.4), and counters and stacks used to exercise the universal
+// construction (Section 6).
+//
+// All states are encoded as strings so they are comparable and printable.
+// Values and elements are drawn from 1..K (the paper's convention); response
+// 0 plays the role of the default/empty response r0 = ∅.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+
+	"hiconc/internal/core"
+)
+
+// Common operation names used across specifications.
+const (
+	OpRead   = "read"
+	OpWrite  = "write"
+	OpInc    = "inc"
+	OpDec    = "dec"
+	OpEnq    = "enq"
+	OpDeq    = "deq"
+	OpPeek   = "peek"
+	OpInsert = "insert"
+	OpRemove = "remove"
+	OpLookup = "lookup"
+	OpPush   = "push"
+	OpPop    = "pop"
+	OpTop    = "top"
+)
+
+// Register is a K-valued read/write register with values 1..K. It is the
+// canonical example of an object in the class C_t with t = K (Section 5.1):
+// read distinguishes all K states and write moves between any two states.
+type Register struct {
+	// K is the number of values; states are "1".."K".
+	K int
+	// V0 is the initial value (1 <= V0 <= K).
+	V0 int
+}
+
+var _ core.Spec = Register{}
+
+// NewRegister returns a K-valued register specification with initial value v0.
+func NewRegister(k, v0 int) Register {
+	if k < 2 || v0 < 1 || v0 > k {
+		panic(fmt.Sprintf("spec: invalid register parameters K=%d v0=%d", k, v0))
+	}
+	return Register{K: k, V0: v0}
+}
+
+// Name implements core.Spec.
+func (r Register) Name() string { return fmt.Sprintf("register[K=%d]", r.K) }
+
+// Init implements core.Spec.
+func (r Register) Init() string { return strconv.Itoa(r.V0) }
+
+// Apply implements core.Spec.
+func (r Register) Apply(state string, op core.Op) (string, int) {
+	switch op.Name {
+	case OpRead:
+		return state, mustAtoi(state)
+	case OpWrite:
+		if op.Arg < 1 || op.Arg > r.K {
+			panic(fmt.Sprintf("spec: write(%d) out of range 1..%d", op.Arg, r.K))
+		}
+		return strconv.Itoa(op.Arg), 0
+	default:
+		panic("spec: register: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec.
+func (r Register) ReadOnly(op core.Op) bool { return op.Name == OpRead }
+
+// Ops implements core.Spec.
+func (r Register) Ops(string) []core.Op {
+	ops := make([]core.Op, 0, r.K+1)
+	ops = append(ops, core.Op{Name: OpRead})
+	for v := 1; v <= r.K; v++ {
+		ops = append(ops, core.Op{Name: OpWrite, Arg: v})
+	}
+	return ops
+}
+
+// MaxRegister is a K-valued max register (Aspnes, Attiya, Censor [6]): read
+// returns the maximum value ever written. Its state space is not
+// well-connected (once at m it can never return below m), so it is *not* in
+// the class C_t and escapes the Theorem 17 impossibility; Section 5.1
+// sketches a wait-free state-quiescent HI implementation from binary
+// registers, which internal/registers provides.
+type MaxRegister struct {
+	// K is the largest value; states are "1".."K".
+	K int
+	// V0 is the initial value.
+	V0 int
+}
+
+var _ core.Spec = MaxRegister{}
+
+// NewMaxRegister returns a K-valued max-register specification.
+func NewMaxRegister(k, v0 int) MaxRegister {
+	if k < 2 || v0 < 1 || v0 > k {
+		panic(fmt.Sprintf("spec: invalid max register parameters K=%d v0=%d", k, v0))
+	}
+	return MaxRegister{K: k, V0: v0}
+}
+
+// Name implements core.Spec.
+func (r MaxRegister) Name() string { return fmt.Sprintf("maxreg[K=%d]", r.K) }
+
+// Init implements core.Spec.
+func (r MaxRegister) Init() string { return strconv.Itoa(r.V0) }
+
+// Apply implements core.Spec.
+func (r MaxRegister) Apply(state string, op core.Op) (string, int) {
+	cur := mustAtoi(state)
+	switch op.Name {
+	case OpRead:
+		return state, cur
+	case OpWrite:
+		if op.Arg < 1 || op.Arg > r.K {
+			panic(fmt.Sprintf("spec: write(%d) out of range 1..%d", op.Arg, r.K))
+		}
+		if op.Arg > cur {
+			return strconv.Itoa(op.Arg), 0
+		}
+		return state, 0
+	default:
+		panic("spec: maxreg: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec. Per Section 3 an operation is read-only iff
+// it changes the state from *no* state: for a max register initialized to V0
+// every reachable state is at least V0, so write(v) with v <= V0 can never
+// change the state and is read-only.
+func (r MaxRegister) ReadOnly(op core.Op) bool {
+	return op.Name == OpRead || (op.Name == OpWrite && op.Arg <= r.V0)
+}
+
+// Ops implements core.Spec.
+func (r MaxRegister) Ops(string) []core.Op {
+	ops := make([]core.Op, 0, r.K+1)
+	ops = append(ops, core.Op{Name: OpRead})
+	for v := 1; v <= r.K; v++ {
+		ops = append(ops, core.Op{Name: OpWrite, Arg: v})
+	}
+	return ops
+}
+
+func mustAtoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		panic("spec: bad state encoding " + strconv.Quote(s))
+	}
+	return v
+}

@@ -1,0 +1,84 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/core"
+)
+
+// Set is a set over the domain {1..T} with insert, remove and lookup,
+// following Section 5.1: insert and remove are blind updates acknowledged
+// with the default response 0, and lookup returns membership (1 or 0).
+// The paper observes that the set is *not* in the class C_t — its operations
+// return only two responses — and admits a simple wait-free perfect HI
+// implementation from T binary registers (provided in internal/registers:
+// one binary register per element, written blindly).
+type Set struct {
+	// T is the domain size; elements are 1..T.
+	T int
+}
+
+var _ core.Spec = Set{}
+
+// NewSet returns a set specification over {1..T}.
+func NewSet(t int) Set {
+	if t < 1 {
+		panic(fmt.Sprintf("spec: invalid set domain t=%d", t))
+	}
+	return Set{T: t}
+}
+
+// Name implements core.Spec.
+func (s Set) Name() string { return fmt.Sprintf("set[t=%d]", s.T) }
+
+// Init implements core.Spec. The initial state is the empty set, encoded as
+// a bit string of length T ("000...").
+func (s Set) Init() string { return strings.Repeat("0", s.T) }
+
+// Apply implements core.Spec.
+func (s Set) Apply(state string, op core.Op) (string, int) {
+	if len(state) != s.T {
+		panic("spec: bad set state " + state)
+	}
+	if op.Arg < 1 || op.Arg > s.T {
+		panic(fmt.Sprintf("spec: set op %v out of range 1..%d", op, s.T))
+	}
+	i := op.Arg - 1
+	member := state[i] == '1'
+	switch op.Name {
+	case OpInsert:
+		if member {
+			return state, 0
+		}
+		return state[:i] + "1" + state[i+1:], 0
+	case OpRemove:
+		if !member {
+			return state, 0
+		}
+		return state[:i] + "0" + state[i+1:], 0
+	case OpLookup:
+		if member {
+			return state, 1
+		}
+		return state, 0
+	default:
+		panic("spec: set: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec.
+func (s Set) ReadOnly(op core.Op) bool { return op.Name == OpLookup }
+
+// Ops implements core.Spec.
+func (s Set) Ops(string) []core.Op {
+	ops := make([]core.Op, 0, 3*s.T)
+	for v := 1; v <= s.T; v++ {
+		ops = append(ops,
+			core.Op{Name: OpInsert, Arg: v},
+			core.Op{Name: OpRemove, Arg: v},
+			core.Op{Name: OpLookup, Arg: v},
+		)
+	}
+	return ops
+}

@@ -1,0 +1,227 @@
+package spec_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+func TestRegister(t *testing.T) {
+	r := spec.NewRegister(4, 2)
+	cases := []struct {
+		state string
+		op    core.Op
+		next  string
+		resp  int
+	}{
+		{"2", core.Op{Name: spec.OpRead}, "2", 2},
+		{"2", core.Op{Name: spec.OpWrite, Arg: 4}, "4", 0},
+		{"4", core.Op{Name: spec.OpRead}, "4", 4},
+		{"4", core.Op{Name: spec.OpWrite, Arg: 1}, "1", 0},
+	}
+	for _, tc := range cases {
+		next, resp := r.Apply(tc.state, tc.op)
+		if next != tc.next || resp != tc.resp {
+			t.Errorf("Apply(%q, %v) = (%q, %d), want (%q, %d)", tc.state, tc.op, next, resp, tc.next, tc.resp)
+		}
+	}
+	if got := len(r.Ops("")); got != 5 {
+		t.Errorf("register has %d ops, want 5", got)
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	r := spec.NewMaxRegister(5, 2)
+	cases := []struct {
+		state string
+		op    core.Op
+		next  string
+		resp  int
+	}{
+		{"2", core.Op{Name: spec.OpWrite, Arg: 4}, "4", 0},
+		{"4", core.Op{Name: spec.OpWrite, Arg: 3}, "4", 0}, // smaller write is absorbed
+		{"4", core.Op{Name: spec.OpRead}, "4", 4},
+		{"4", core.Op{Name: spec.OpWrite, Arg: 5}, "5", 0},
+	}
+	for _, tc := range cases {
+		next, resp := r.Apply(tc.state, tc.op)
+		if next != tc.next || resp != tc.resp {
+			t.Errorf("Apply(%q, %v) = (%q, %d), want (%q, %d)", tc.state, tc.op, next, resp, tc.next, tc.resp)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := spec.NewCounter(2, 0)
+	s := c.Init()
+	var resp int
+	s, resp = c.Apply(s, core.Op{Name: spec.OpInc})
+	if s != "1" || resp != 0 {
+		t.Fatalf("inc from 0: (%q, %d)", s, resp)
+	}
+	s, resp = c.Apply(s, core.Op{Name: spec.OpInc})
+	if s != "2" || resp != 1 {
+		t.Fatalf("inc from 1: (%q, %d)", s, resp)
+	}
+	s, resp = c.Apply(s, core.Op{Name: spec.OpInc}) // saturates
+	if s != "2" || resp != 2 {
+		t.Fatalf("inc from max: (%q, %d)", s, resp)
+	}
+	s, resp = c.Apply(s, core.Op{Name: spec.OpDec})
+	if s != "1" || resp != 2 {
+		t.Fatalf("dec from 2: (%q, %d)", s, resp)
+	}
+}
+
+// TestQueueAgainstModel drives the queue spec with random operations and
+// compares it against a plain slice model.
+func TestQueueAgainstModel(t *testing.T) {
+	const T, C = 3, 4
+	q := spec.NewQueue(T, C)
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		state := q.Init()
+		var model []int
+		for i := 0; i < int(n%64); i++ {
+			ops := q.Ops(state)
+			op := ops[rng.Intn(len(ops))]
+			var want int
+			switch op.Name {
+			case spec.OpEnq:
+				if len(model) < C {
+					model = append(model, op.Arg)
+				}
+			case spec.OpDeq:
+				if len(model) > 0 {
+					want = model[0]
+					model = model[1:]
+				}
+			case spec.OpPeek:
+				if len(model) > 0 {
+					want = model[0]
+				}
+			}
+			var resp int
+			state, resp = q.Apply(state, op)
+			if resp != want {
+				t.Logf("op %v: resp %d, want %d", op, resp, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStackAgainstModel drives the stack spec against a slice model.
+func TestStackAgainstModel(t *testing.T) {
+	const T, C = 3, 4
+	s := spec.NewStack(T, C)
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		state := s.Init()
+		var model []int
+		for i := 0; i < int(n%64); i++ {
+			ops := s.Ops(state)
+			op := ops[rng.Intn(len(ops))]
+			var want int
+			switch op.Name {
+			case spec.OpPush:
+				if len(model) < C {
+					model = append(model, op.Arg)
+				}
+			case spec.OpPop:
+				if len(model) > 0 {
+					want = model[len(model)-1]
+					model = model[:len(model)-1]
+				}
+			case spec.OpTop:
+				if len(model) > 0 {
+					want = model[len(model)-1]
+				}
+			}
+			var resp int
+			state, resp = s.Apply(state, op)
+			if resp != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetAgainstModel drives the set spec against a map model.
+func TestSetAgainstModel(t *testing.T) {
+	const T = 5
+	s := spec.NewSet(T)
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		state := s.Init()
+		model := map[int]bool{}
+		for i := 0; i < int(n%64); i++ {
+			v := rng.Intn(T) + 1
+			var op core.Op
+			switch rng.Intn(3) {
+			case 0:
+				op = core.Op{Name: spec.OpInsert, Arg: v}
+				model[v] = true
+			case 1:
+				op = core.Op{Name: spec.OpRemove, Arg: v}
+				delete(model, v)
+			case 2:
+				op = core.Op{Name: spec.OpLookup, Arg: v}
+			}
+			var resp int
+			state, resp = s.Apply(state, op)
+			if op.Name == spec.OpLookup {
+				want := 0
+				if model[v] {
+					want = 1
+				}
+				if resp != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism checks that Apply is a pure function: applying the same op
+// to the same state twice yields identical results.
+func TestDeterminism(t *testing.T) {
+	specs := []core.Spec{
+		spec.NewRegister(4, 1),
+		spec.NewMaxRegister(4, 2),
+		spec.NewCounter(3, 1),
+		spec.NewQueue(2, 3),
+		spec.NewStack(2, 3),
+		spec.NewSet(3),
+	}
+	for _, s := range specs {
+		states, err := core.Reachable(s, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for _, q := range states {
+			for _, op := range s.Ops(q) {
+				n1, r1 := s.Apply(q, op)
+				n2, r2 := s.Apply(q, op)
+				if n1 != n2 || r1 != r2 {
+					t.Errorf("%s: Apply(%q, %v) nondeterministic", s.Name(), q, op)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package trace renders executions in the style of the paper's figures:
+// Figure 1's annotated timeline with observation-point classes, and
+// Figure 3's head-mode transitions of the universal construction.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/sim"
+)
+
+// Figure1 renders the execution as a step timeline, marking after each
+// configuration which observation classes admit it:
+//
+//	P — admitted by perfect HI only (some state-changing op pending)
+//	S — state-quiescent (admitted by perfect and state-quiescent HI)
+//	Q — quiescent (admitted by all three definitions)
+//
+// mirroring the ①②③④ observation points of Figure 1.
+func Figure1(t *sim.Trace) string {
+	var b strings.Builder
+	configs := t.Configs()
+	classOf := func(c sim.Config) string {
+		switch {
+		case c.Quiescent():
+			return "Q"
+		case c.StateQuiescent():
+			return "S"
+		default:
+			return "P"
+		}
+	}
+	fmt.Fprintf(&b, "objects: %s\n", strings.Join(t.ObjNames, " "))
+	fmt.Fprintf(&b, "%4s %-3s %-28s %-8s %s\n", "k", "cls", "step", "result", "mem(C_k)")
+	fmt.Fprintf(&b, "%4d %-3s %-28s %-8s %s\n", 0, classOf(configs[0]), "(initial)", "", strings.Join(t.Initial, " "))
+	evIdx := 0
+	emit := func(upto int) {
+		for evIdx < len(t.Events) && t.Events[evIdx].StepIndex <= upto {
+			ev := t.Events[evIdx]
+			switch ev.Kind {
+			case sim.EvInvoke:
+				fmt.Fprintf(&b, "     >>> p%d invokes %v\n", ev.PID, ev.Op)
+			case sim.EvReturn:
+				fmt.Fprintf(&b, "     <<< p%d returns %d from %v\n", ev.PID, ev.Resp, ev.Op)
+			}
+			evIdx++
+		}
+	}
+	emit(0)
+	for k, s := range t.Steps {
+		for evIdx < len(t.Events) && t.Events[evIdx].StepIndex == k+1 && t.Events[evIdx].Kind == sim.EvInvoke {
+			fmt.Fprintf(&b, "     >>> p%d invokes %v\n", t.Events[evIdx].PID, t.Events[evIdx].Op)
+			evIdx++
+		}
+		fmt.Fprintf(&b, "%4d %-3s p%d: %-24s %-8v %s\n",
+			k+1, classOf(configs[k+1]), s.PID, s.Prim.String(), s.Result, strings.Join(s.Mem, " "))
+		emit(k + 1)
+	}
+	emit(len(t.Steps) + 1)
+	return b.String()
+}
+
+// HeadModes renders the Figure 3 mode transitions: the sequence of values
+// written to the base object named "head", which under Invariant 22
+// alternates between mode A (⟨q,⊥⟩) and mode B (⟨q',⟨r,j⟩⟩).
+func HeadModes(t *sim.Trace) string {
+	headIdx := -1
+	for i, name := range t.ObjNames {
+		if name == "head" {
+			headIdx = i
+			break
+		}
+	}
+	if headIdx < 0 {
+		return "no head object in this trace\n"
+	}
+	var b strings.Builder
+	prev := t.Initial[headIdx]
+	fmt.Fprintf(&b, "%4s %-4s %s\n", "k", "by", "head")
+	fmt.Fprintf(&b, "%4d %-4s %s\n", 0, "", prev)
+	for k, s := range t.Steps {
+		cur := s.Mem[headIdx]
+		if cur != prev {
+			fmt.Fprintf(&b, "%4d p%-3d %s\n", k+1, s.PID, cur)
+			prev = cur
+		}
+	}
+	return b.String()
+}
+
+// Summary renders one line per completed operation, useful for quick looks
+// at histories.
+func Summary(t *sim.Trace) string {
+	var b strings.Builder
+	for _, ev := range t.Events {
+		if ev.Kind == sim.EvReturn {
+			fmt.Fprintf(&b, "p%d %v = %d\n", ev.PID, ev.Op, ev.Resp)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/llsc"
+	"hiconc/internal/registers"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+	"hiconc/internal/trace"
+	"hiconc/internal/universal"
+)
+
+func TestFigure1Rendering(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	scripts := [][]core.Op{
+		{{Name: spec.OpWrite, Arg: 2}},
+		{{Name: spec.OpRead}},
+	}
+	tr := h.BuildScripts(scripts).Run(&sim.RoundRobin{}, 200)
+	out := trace.Figure1(tr)
+	for _, needle := range []string{"(initial)", "invokes", "returns", "A1 A2 A3"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Figure1 output missing %q:\n%s", needle, out)
+		}
+	}
+	// A write is pending mid-execution: at least one P-class configuration.
+	if !strings.Contains(out, " P ") {
+		t.Error("expected at least one P (perfect-only) configuration")
+	}
+	if !strings.Contains(out, " Q ") {
+		t.Error("expected at least one quiescent configuration")
+	}
+}
+
+func TestHeadModesRendering(t *testing.T) {
+	h := universal.CounterHarness(2, 2, llsc.CASFactory{}, universal.Full)
+	inc := core.Op{Name: spec.OpInc}
+	tr := h.BuildScripts([][]core.Op{{inc}, {inc}}).Run(&sim.RoundRobin{}, 2000)
+	out := trace.HeadModes(tr)
+	if !strings.Contains(out, "head") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// Two increments: head passes through <1,...> and <2,...>.
+	if !strings.Contains(out, "<1,") || !strings.Contains(out, "<2,") {
+		t.Errorf("expected both increment transitions:\n%s", out)
+	}
+}
+
+func TestHeadModesNoHead(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	tr := h.BuildScripts([][]core.Op{{{Name: spec.OpWrite, Arg: 2}}, nil}).Run(&sim.RoundRobin{}, 100)
+	if out := trace.HeadModes(tr); !strings.Contains(out, "no head object") {
+		t.Errorf("unexpected output: %s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := registers.NewAlg2(3, 1)
+	scripts := [][]core.Op{{{Name: spec.OpWrite, Arg: 3}}, {{Name: spec.OpRead}}}
+	tr := h.BuildScripts(scripts).Run(sim.FixedSchedule{0, 0, 0, 1, 1, 1, 1, 1}, 200)
+	out := trace.Summary(tr)
+	if !strings.Contains(out, "write(3) = 0") {
+		t.Errorf("missing write in summary:\n%s", out)
+	}
+	if !strings.Contains(out, "read() = 3") {
+		t.Errorf("missing read in summary:\n%s", out)
+	}
+}

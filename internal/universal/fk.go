@@ -1,0 +1,108 @@
+package universal
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/llsc"
+	"hiconc/internal/sim"
+)
+
+// fkVal is the single-cell state of the Fatourou–Kallimanis-style baseline:
+// the object state together with, per process, the sequence number and
+// response of its most recently applied operation. Keeping the responses is
+// what makes the construction efficient — and what breaks history
+// independence, as Section 1 of the paper points out for [19].
+type fkVal struct {
+	State string
+	Seqs  [8]int
+	Rsps  [8]int
+}
+
+// fkAnn is an announce cell value: a pending request (sequence number +
+// operation) or none.
+type fkAnn struct {
+	Seq int // 0 = no pending request
+	Op  core.Op
+}
+
+// NewFKHarness builds the non-HI universal baseline: a wait-free universal
+// construction in the style of Fatourou and Kallimanis [19], storing the
+// full object state plus every process's last response in a single LL/SC
+// cell. It is linearizable and wait-free but not even quiescent HI — the
+// response and sequence-number fields survive operation completion, so the
+// memory reveals which operations were ever applied. NewFKHarness exists as
+// a baseline for the clearing mechanisms of Algorithm 5 (experiment E15).
+func NewFKHarness(s core.Spec, n int, f llsc.Factory) *harness.Harness {
+	if n > 8 {
+		panic(fmt.Sprintf("universal: FK baseline supports up to 8 processes, got %d", n))
+	}
+	allOps := s.Ops(s.Init())
+	procOps := make([][]core.Op, n)
+	for i := range procOps {
+		procOps[i] = allOps
+	}
+	return &harness.Harness{
+		Name:    fmt.Sprintf("fk-universal[%s,%s,n=%d]", s.Name(), f.Name(), n),
+		Spec:    s,
+		ProcOps: procOps,
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem := sim.NewMemory()
+			head := f.New(mem, "head", fkVal{State: s.Init()})
+			ann := make([]llsc.Var, n)
+			for i := 0; i < n; i++ {
+				ann[i] = f.New(mem, fmt.Sprintf("ann%d", i), fkAnn{})
+			}
+			progs := make([]sim.Program, n)
+			for pid := range progs {
+				progs[pid] = fkProgram(s, n, head, ann, pid, srcs[pid])
+			}
+			return sim.NewRunner(mem, progs)
+		},
+	}
+}
+
+// fkProgram: every state-changing operation is announced with a fresh
+// sequence number; any process that wins the SC applies *all* pending
+// announced requests in one transition, recording their responses in the
+// cell. The invoker returns once its sequence number appears in head.
+func fkProgram(s core.Spec, n int, head llsc.Var, ann []llsc.Var, pid int, src harness.OpSource) sim.Program {
+	return func(p *sim.Proc) {
+		seq := 0
+		for op, ok := src.Next(p); ok; op, ok = src.Next(p) {
+			if s.ReadOnly(op) {
+				p.Invoke(op, false)
+				q := head.Load(p).(fkVal).State
+				_, rsp := s.Apply(q, op)
+				p.Return(rsp)
+				continue
+			}
+			p.Invoke(op, true)
+			seq++
+			ann[pid].Store(p, fkAnn{Seq: seq, Op: op})
+			for {
+				h := head.LL(p).(fkVal)
+				if h.Seqs[pid] >= seq { // already applied by a helper
+					p.Return(h.Rsps[pid])
+					break
+				}
+				// Batch-apply every pending announced request.
+				next := h
+				for j := 0; j < n; j++ {
+					a := ann[j].Load(p).(fkAnn)
+					if a.Seq > next.Seqs[j] {
+						var rsp int
+						next.State, rsp = s.Apply(next.State, a.Op)
+						next.Seqs[j] = a.Seq
+						next.Rsps[j] = rsp
+					}
+				}
+				if head.SC(p, next) && next.Seqs[pid] >= seq {
+					p.Return(next.Rsps[pid])
+					break
+				}
+			}
+		}
+	}
+}

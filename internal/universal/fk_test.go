@@ -1,0 +1,99 @@
+package universal_test
+
+import (
+	"errors"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/linearize"
+	"hiconc/internal/llsc"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+	"hiconc/internal/universal"
+)
+
+var errTruncated = errors.New("execution did not finish")
+
+// TestFKLinearizableFuzz: the Fatourou–Kallimanis-style baseline is a
+// correct universal construction — linearizable under random schedules.
+func TestFKLinearizableFuzz(t *testing.T) {
+	h := universal.NewFKHarness(spec.NewCounter(3, 1), 3, llsc.CASFactory{})
+	scripts := [][]core.Op{{inc, dec}, {inc, inc}, {dec, rd}}
+	err := sim.RandomTraces(h.Builder(scripts), 400, 7, 2000, func(tr *sim.Trace) error {
+		if tr.Truncated {
+			return errTruncated
+		}
+		return linearize.Check(h.Spec, tr.Events)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFKNotHI: the baseline is not history independent, already
+// sequentially — the sequence numbers and responses stored in head reveal
+// how many operations each process performed (the Section 1 critique of
+// [19] made concrete).
+func TestFKNotHI(t *testing.T) {
+	h := universal.NewFKHarness(spec.NewCounter(2, 1), 2, llsc.CASFactory{})
+	_, err := hicheck.BuildCanon(h, 2, 2000)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a sequential HI violation, got %v", err)
+	}
+	t.Logf("witness: %v", v)
+}
+
+// TestFKWaitFreeBound: batch helping makes the baseline wait-free — every
+// process completes all its operations under random schedules.
+func TestFKWaitFreeBound(t *testing.T) {
+	h := universal.NewFKHarness(spec.NewCounter(6, 0), 3, llsc.CASFactory{})
+	scripts := [][]core.Op{{inc, inc}, {inc, inc}, {inc, inc}}
+	err := sim.RandomTraces(h.Builder(scripts), 300, 19, 3000, func(tr *sim.Trace) error {
+		if tr.Truncated {
+			return errTruncated
+		}
+		for pid := 0; pid < 3; pid++ {
+			if got := len(tr.Responses(pid)); got != 2 {
+				return errTruncated
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFKVersusHIUniversalMemory contrasts the two constructions directly:
+// after the same operation sequence, Algorithm 5 leaves canonical memory
+// while the baseline's head still names every process's last operation.
+func TestFKVersusHIUniversalMemory(t *testing.T) {
+	run := func(h interface {
+		BuildScripts(scripts [][]core.Op) *sim.Runner
+	}) []string {
+		tr := h.BuildScripts([][]core.Op{{inc}, {inc, dec}}).Run(&sim.RoundRobin{}, 5000)
+		if tr.Truncated {
+			t.Fatal("run truncated")
+		}
+		return tr.MemAt(len(tr.Steps))
+	}
+	fk1 := run(universal.NewFKHarness(spec.NewCounter(4, 0), 2, llsc.CASFactory{}))
+	// A different history reaching the same state (value 1).
+	fk2t := universal.NewFKHarness(spec.NewCounter(4, 0), 2, llsc.CASFactory{}).
+		BuildScripts([][]core.Op{{inc}, nil}).Run(&sim.RoundRobin{}, 5000)
+	fk2 := fk2t.MemAt(len(fk2t.Steps))
+	if sim.Fingerprint(fk1) == sim.Fingerprint(fk2) {
+		t.Fatal("FK baseline left identical memory for different histories; it should leak")
+	}
+
+	hi1 := run(universal.CounterHarness(4, 2, llsc.CASFactory{}, universal.Full))
+	hi2t := universal.CounterHarness(4, 2, llsc.CASFactory{}, universal.Full).
+		BuildScripts([][]core.Op{{inc}, nil}).Run(&sim.RoundRobin{}, 5000)
+	hi2 := hi2t.MemAt(len(hi2t.Steps))
+	if sim.Fingerprint(hi1) != sim.Fingerprint(hi2) {
+		t.Fatalf("Algorithm 5 memory differs for equal states:\n %s\n %s",
+			sim.Fingerprint(hi1), sim.Fingerprint(hi2))
+	}
+}

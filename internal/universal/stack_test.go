@@ -1,0 +1,43 @@
+package universal_test
+
+import (
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/llsc"
+	"hiconc/internal/spec"
+	"hiconc/internal/universal"
+)
+
+func TestStateQuiescentHIFuzzStack(t *testing.T) {
+	h := universal.NewHarness(spec.NewStack(2, 2), 2, llsc.CASFactory{}, universal.Full)
+	c := canonOrFatal(t, h, 4, 3000)
+	push := func(v int) core.Op { return core.Op{Name: spec.OpPush, Arg: v} }
+	pop := core.Op{Name: spec.OpPop}
+	top := core.Op{Name: spec.OpTop}
+	scripts := [][][]core.Op{
+		{{push(1), pop}, {push(2), top}},
+		{{push(2), push(1)}, {pop, pop}},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 300, 131, 1500, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHarnessNamesDistinct guards the experiment plumbing: every factory ×
+// variant combination reports a distinct harness name.
+func TestHarnessNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range factories {
+		for _, v := range []universal.Variant{
+			universal.Full, universal.NoRelease, universal.NoEscape, universal.NoAnnounceClear,
+		} {
+			h := universal.CounterHarness(2, 2, f, v)
+			if seen[h.Name] {
+				t.Fatalf("duplicate harness name %q", h.Name)
+			}
+			seen[h.Name] = true
+		}
+	}
+}

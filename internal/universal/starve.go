@@ -1,0 +1,60 @@
+package universal
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/llsc"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// StarvationDemo drives a two-process counter instance of the given variant
+// with the adversarial scheduler that exposes the role of the blue escape
+// lines: whenever p0 is parked at a CAS on head that would succeed, p1 runs
+// instead (invalidating p0's pending CAS); p1 executes p1Ops increments.
+//
+// For the NoEscape mutant, p0 spins in LL(head) forever while p1 makes
+// progress — wait-freedom is lost (but lock-freedom holds, as Lemma 31
+// promises). For the Full variant, p1's helping posts p0's response, p0's
+// escape hatch fires and p0 completes while p1 is still running.
+//
+// It returns the number of operations each process completed and the number
+// of steps p0 took before the adversary ran out of contention to schedule.
+func StarvationDemo(variant Variant, p1Ops, budget int) (p0Done, p1Done, p0Steps int) {
+	h := CounterHarness(p1Ops+4, 2, llsc.CASFactory{}, variant)
+	script := make([]core.Op, p1Ops)
+	for i := range script {
+		script[i] = core.Op{Name: spec.OpInc}
+	}
+	r := h.BuildScripts([][]core.Op{{{Name: spec.OpInc}}, script})
+	r.Start()
+	defer r.Stop()
+	const headIdx = 0 // head is the first object registered by New
+	for steps := 0; steps < budget; steps++ {
+		prim0, ok0 := r.PendingPrim(0)
+		_, ok1 := r.PendingPrim(1)
+		if !ok0 && !ok1 {
+			break
+		}
+		danger := false
+		if ok0 && prim0.Kind == sim.PrimCAS && prim0.Obj.Name() == "head" {
+			if fmt.Sprintf("%v", prim0.Arg1) == r.Mem().Snapshot()[headIdx] {
+				danger = true // p0's CAS would succeed: keep it starving
+			}
+		}
+		switch {
+		case ok0 && !danger:
+			r.Step(0)
+		case ok1:
+			r.Step(1)
+		default:
+			// p1 finished while p0 is parked at a would-succeed CAS: the
+			// adversary has no contention left to schedule.
+			t := r.Trace()
+			return len(t.Responses(0)), len(t.Responses(1)), t.StepsBy(0)
+		}
+	}
+	t := r.Trace()
+	return len(t.Responses(0)), len(t.Responses(1)), t.StepsBy(0)
+}

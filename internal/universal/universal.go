@@ -1,0 +1,314 @@
+// Package universal implements Algorithm 5: the wait-free, state-quiescent
+// history-independent universal construction from releasable LL/SC objects
+// (Section 6). Combined with the Algorithm 6 R-LLSC implementation from
+// atomic CAS (llsc.CASFactory), it realizes Theorem 32: a linearizable,
+// wait-free, state-quiescent HI implementation of an arbitrary object whose
+// base objects are single CAS cells with O(s + 2^n) states.
+//
+// Shared memory consists of the R-LLSC variable head, holding
+// ⟨state, response-record⟩ (the response record is ⊥ between operations, or
+// ⟨rsp, j⟩ right after p_j's operation was applied), and an announce array
+// with one R-LLSC cell per process holding ⊥, a pending operation, or its
+// response. Applying an operation has three stages, each executable by any
+// process: (1) SC head from ⟨q,⊥⟩ to ⟨q',⟨r,j⟩⟩, (2) overwrite announce[j]
+// with the response r, (3) SC head back to ⟨q',⊥⟩, erasing the response.
+// Every helper trace — announce contents, the response record, and the
+// contexts accumulated by load-links — is cleared before operations
+// complete, which is exactly what makes the construction history
+// independent; the mutants in this package remove individual clearing
+// mechanisms and are used to show each is necessary.
+//
+// A note on the paper text: lines 6R.1 and 18R.1 of Algorithm 5 in the arXiv
+// version read "wait until Load(announce[i]) ∉ R", which taken literally is
+// immediately true (the cell holds the announced operation, which is not a
+// response) and would skip the operation entirely; the proof of Lemma 31
+// makes clear the intended escape condition is "announce[i] ∈ R", i.e. the
+// operation's response has been posted by a helper. We implement the
+// corrected condition; see DESIGN.md ("Erratum").
+package universal
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/llsc"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// Variant selects the faithful Algorithm 5 or a deliberately broken mutant.
+type Variant int
+
+const (
+	// Full is the faithful Algorithm 5 (blue and red lines included).
+	Full Variant = iota + 1
+	// NoRelease removes the RL calls of lines 22 and 27 (the paper's red
+	// lines): load-link contexts can survive into quiescent
+	// configurations, violating quiescent HI (the Section 6.1 discussion
+	// and Lemma 27).
+	NoRelease
+	// NoEscape removes the interleaved escape hatches of lines 6, 18 and
+	// 25 (the paper's blue lines): an LL may spin forever while other
+	// processes keep completing operations, violating wait-freedom.
+	NoEscape
+	// NoAnnounceClear removes line 28 (Store(announce[i], ⊥)): responses
+	// of completed operations remain visible, violating HI already in
+	// sequential executions.
+	NoAnnounceClear
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "universal"
+	case NoRelease:
+		return "universal-no-release"
+	case NoEscape:
+		return "universal-no-escape"
+	case NoAnnounceClear:
+		return "universal-no-announce-clear"
+	default:
+		return fmt.Sprintf("universal-variant(%d)", int(v))
+	}
+}
+
+// headVal is the value stored in head: the object's current state plus the
+// response record ⟨Rsp, Proc⟩ (present iff HasRsp; the record is the ⊥ of
+// the paper when HasRsp is false). Cleared fields are zeroed so that every
+// abstract state has a single head encoding.
+type headVal struct {
+	State  string
+	HasRsp bool
+	Rsp    int
+	Proc   int
+}
+
+func (h headVal) String() string {
+	if !h.HasRsp {
+		return fmt.Sprintf("<%s,⊥>", h.State)
+	}
+	return fmt.Sprintf("<%s,<%d,p%d>>", h.State, h.Rsp, h.Proc)
+}
+
+// annKind distinguishes the three contents of an announce cell.
+type annKind int
+
+const (
+	annBot annKind = iota // ⊥
+	annOp                 // a pending operation (∈ O)
+	annRsp                // a response (∈ R)
+)
+
+// annVal is the value stored in announce[i].
+type annVal struct {
+	Kind annKind
+	Op   core.Op
+	Rsp  int
+}
+
+func (a annVal) String() string {
+	switch a.Kind {
+	case annBot:
+		return "⊥"
+	case annOp:
+		return a.Op.String()
+	case annRsp:
+		return fmt.Sprintf("r:%d", a.Rsp)
+	default:
+		return "?"
+	}
+}
+
+// Universal is one instance of the construction: the head and announce
+// variables over a fresh memory, for n processes.
+type Universal struct {
+	spec    core.Spec
+	n       int
+	variant Variant
+	head    llsc.Var
+	ann     []llsc.Var
+}
+
+// New creates a fresh instance over mem.
+func New(s core.Spec, n int, f llsc.Factory, variant Variant, mem *sim.Memory) *Universal {
+	u := &Universal{spec: s, n: n, variant: variant}
+	u.head = f.New(mem, "head", headVal{State: s.Init()})
+	u.ann = make([]llsc.Var, n)
+	for i := 0; i < n; i++ {
+		u.ann[i] = f.New(mem, fmt.Sprintf("ann%d", i), annVal{Kind: annBot})
+	}
+	return u
+}
+
+// Program returns the process program drawing operations from src on behalf
+// of process pid. The priority counter persists across the process's
+// operations, as in the paper (it is part of the process's local state, not
+// the memory).
+func (u *Universal) Program(pid int, src harness.OpSource) sim.Program {
+	return func(p *sim.Proc) {
+		priority := pid
+		for op, ok := src.Next(p); ok; op, ok = src.Next(p) {
+			if u.spec.ReadOnly(op) {
+				u.applyReadOnly(p, op)
+			} else {
+				u.apply(p, op, &priority)
+			}
+		}
+	}
+}
+
+// applyReadOnly implements ApplyReadOnly (lines 1-3): read the state from
+// head and answer from the sequential specification, leaving no trace.
+func (u *Universal) applyReadOnly(p *sim.Proc, op core.Op) {
+	p.Invoke(op, false)
+	q := u.head.Load(p).(headVal).State
+	_, rsp := u.spec.Apply(q, op)
+	p.Return(rsp)
+}
+
+// escapesEnabled reports whether the blue lines (6R, 18R, 25R) are active.
+func (u *Universal) escapesEnabled() bool { return u.variant != NoEscape }
+
+// loadAnn reads announce[j].
+func (u *Universal) loadAnn(p *sim.Proc, j int) annVal {
+	return u.ann[j].Load(p).(annVal)
+}
+
+// apply implements Apply (lines 4-29) for a state-changing operation.
+func (u *Universal) apply(p *sim.Proc, op core.Op, priority *int) {
+	i := p.ID
+	p.Invoke(op, true)
+	u.ann[i].Store(p, annVal{Kind: annOp, Op: op}) // Line 4
+
+	for {
+		if u.loadAnn(p, i).Kind == annRsp { // Line 5
+			break
+		}
+		// Line 6: LL(head) interleaved with the escape poll (6R).
+		hv, escaped := u.llWithEscape(p, u.head, func() bool {
+			return u.loadAnn(p, i).Kind == annRsp
+		})
+		if escaped {
+			break // goto Line 24
+		}
+		h := hv.(headVal)
+		if !h.HasRsp { // Line 7: in-between operations (mode A)
+			var applyOp core.Op
+			var j int
+			help := u.loadAnn(p, *priority) // Line 8
+			switch {
+			case help.Kind == annOp: // Line 9
+				applyOp, j = help.Op, *priority
+			default:
+				if u.loadAnn(p, i).Kind != annOp { // Line 11
+					continue
+				}
+				applyOp, j = op, i // Line 12
+			}
+			state, rsp := u.spec.Apply(h.State, applyOp)                              // Line 13
+			if u.head.SC(p, headVal{State: state, HasRsp: true, Rsp: rsp, Proc: j}) { // Line 14
+				*priority = (*priority + 1) % u.n // Line 15
+			}
+			continue
+		}
+		// Lines 16-22: a response record is pending (mode B).
+		rsp, j := h.Rsp, h.Proc // Line 17
+		// Line 18: LL(announce[j]) interleaved with the escape poll (18R).
+		av, escaped := u.llWithEscape(p, u.ann[j], func() bool {
+			return u.loadAnn(p, i).Kind == annRsp
+		})
+		if escaped {
+			u.ann[j].RL(p) // Line 18R.2 (always performed on escape)
+			break          // goto Line 24
+		}
+		a := av.(annVal)
+		if u.head.VL(p) { // Line 19
+			if a.Kind == annOp { // Line 20
+				u.ann[j].SC(p, annVal{Kind: annRsp, Rsp: rsp})
+			}
+			u.head.SC(p, headVal{State: h.State}) // Line 21
+		}
+		if a.Kind == annBot && u.variant != NoRelease { // Line 22 (red)
+			u.ann[j].RL(p)
+		}
+	}
+
+	// Line 24: the operation has been applied; read its response.
+	response := u.loadAnn(p, i)
+	if response.Kind != annRsp {
+		panic(fmt.Sprintf("universal: p%d reached line 24 with announce = %v", i, response))
+	}
+	// Line 25: LL(head) interleaved with the 25R poll
+	// (wait until Load(head) ≠ ⟨_,⟨_,i⟩⟩, then goto Line 27).
+	hv, escaped := u.llWithEscape(p, u.head, func() bool {
+		h := u.head.Load(p).(headVal)
+		return !(h.HasRsp && h.Proc == i)
+	})
+	if escaped {
+		if u.variant != NoRelease { // Line 27 (red)
+			u.head.RL(p)
+		}
+	} else {
+		h := hv.(headVal)
+		if h.HasRsp && h.Proc == i { // Line 26
+			u.head.SC(p, headVal{State: h.State})
+		} else if u.variant != NoRelease { // Line 27 (red)
+			u.head.RL(p)
+		}
+	}
+	if u.variant != NoAnnounceClear {
+		u.ann[i].Store(p, annVal{Kind: annBot}) // Line 28
+	}
+	p.Return(response.Rsp) // Line 29
+}
+
+// llWithEscape runs an LL on v, interleaving one escape poll between
+// consecutive LL steps (a legal instantiation of the ∥ interleaving, which
+// allows any finite number of steps per side). It returns the loaded value,
+// or escaped = true if the poll fired before the LL took effect; an
+// abandoned LL has performed no context change (its last step was a read or
+// failed CAS), so no release is needed for it.
+func (u *Universal) llWithEscape(p *sim.Proc, v llsc.Var, escape func() bool) (sim.Value, bool) {
+	att := v.BeginLL(p)
+	for {
+		if att.Step() {
+			return att.Value(), false
+		}
+		if u.escapesEnabled() && escape() {
+			return nil, true
+		}
+	}
+}
+
+// NewHarness builds a test harness for the construction applied to spec s
+// with n processes, base objects from f, and the given variant. Every
+// process may invoke every operation of the object.
+func NewHarness(s core.Spec, n int, f llsc.Factory, variant Variant) *harness.Harness {
+	allOps := s.Ops(s.Init())
+	procOps := make([][]core.Op, n)
+	for i := range procOps {
+		procOps[i] = allOps
+	}
+	return &harness.Harness{
+		Name:    fmt.Sprintf("%v[%s,%s,n=%d]", variant, s.Name(), f.Name(), n),
+		Spec:    s,
+		ProcOps: procOps,
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem := sim.NewMemory()
+			u := New(s, n, f, variant, mem)
+			progs := make([]sim.Program, n)
+			for pid := range progs {
+				progs[pid] = u.Program(pid, srcs[pid])
+			}
+			return sim.NewRunner(mem, progs)
+		},
+	}
+}
+
+// CounterHarness, a convenience for tests: the universal construction
+// applied to a bounded counter.
+func CounterHarness(max, n int, f llsc.Factory, variant Variant) *harness.Harness {
+	return NewHarness(spec.NewCounter(max, 0), n, f, variant)
+}

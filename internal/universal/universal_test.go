@@ -1,0 +1,338 @@
+package universal_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/linearize"
+	"hiconc/internal/llsc"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+	"hiconc/internal/universal"
+)
+
+var factories = []llsc.Factory{llsc.HardwareFactory{}, llsc.CASFactory{}}
+
+var (
+	inc  = core.Op{Name: spec.OpInc}
+	dec  = core.Op{Name: spec.OpDec}
+	rd   = core.Op{Name: spec.OpRead}
+	enq  = func(v int) core.Op { return core.Op{Name: spec.OpEnq, Arg: v} }
+	deq  = core.Op{Name: spec.OpDeq}
+	peek = core.Op{Name: spec.OpPeek}
+)
+
+func canonOrFatal(t *testing.T, h *harness.Harness, maxOps, maxSteps int) *hicheck.Canon {
+	t.Helper()
+	c, err := hicheck.BuildCanon(h, maxOps, maxSteps)
+	if err != nil {
+		t.Fatalf("%s: %v", h.Name, err)
+	}
+	return c
+}
+
+func TestSequentialCanonicalCounter(t *testing.T) {
+	for _, f := range factories {
+		h := universal.CounterHarness(2, 2, f, universal.Full)
+		c := canonOrFatal(t, h, 3, 2000)
+		if len(c.ByState) != 3 {
+			t.Errorf("%s: canonical map covers %d states, want 3", h.Name, len(c.ByState))
+		}
+	}
+}
+
+func TestSequentialCanonicalQueue(t *testing.T) {
+	for _, f := range factories {
+		h := universal.NewHarness(spec.NewQueue(2, 2), 2, f, universal.Full)
+		c := canonOrFatal(t, h, 3, 2000)
+		if len(c.ByState) != 7 {
+			t.Errorf("%s: canonical map covers %d states, want 7", h.Name, len(c.ByState))
+		}
+	}
+}
+
+func TestStateQuiescentHIExhaustiveTruncated(t *testing.T) {
+	// Bounded-depth exhaustive exploration: every execution prefix of up to
+	// maxSteps steps is covered, including every admitted configuration.
+	for _, f := range factories {
+		h := universal.CounterHarness(2, 2, f, universal.Full)
+		c := canonOrFatal(t, h, 3, 2000)
+		scripts := [][][]core.Op{
+			{{inc}, {inc}},
+			{{inc}, {dec}},
+			{{dec}, {inc}},
+			{{inc}, {rd}},
+		}
+		maxSteps := 12
+		if f.Name() == "hw" {
+			maxSteps = 14 // hardware ops are shorter; go deeper
+		}
+		if !testing.Short() {
+			maxSteps += 2
+		}
+		n, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, maxSteps, 600000, true)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		t.Logf("%s: explored %d interleavings", h.Name, n)
+	}
+}
+
+func TestStateQuiescentHIFuzzCounter(t *testing.T) {
+	for _, f := range factories {
+		h := universal.CounterHarness(3, 3, f, universal.Full)
+		c := canonOrFatal(t, h, 4, 2000)
+		scripts := [][][]core.Op{
+			{{inc, inc}, {dec, rd}, {inc, dec}},
+			{{inc, rd}, {inc, inc}, {dec, dec}},
+		}
+		if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 300, 71, 1500, true); err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+	}
+}
+
+func TestStateQuiescentHIFuzzQueue(t *testing.T) {
+	h := universal.NewHarness(spec.NewQueue(2, 2), 2, llsc.CASFactory{}, universal.Full)
+	c := canonOrFatal(t, h, 4, 3000)
+	scripts := [][][]core.Op{
+		{{enq(1), deq}, {enq(2), peek}},
+		{{enq(2), enq(1)}, {deq, peek}},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 300, 83, 1500, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizableSetFuzz(t *testing.T) {
+	h := universal.NewHarness(spec.NewSet(2), 2, llsc.CASFactory{}, universal.Full)
+	c := canonOrFatal(t, h, 3, 2000)
+	ins := func(v int) core.Op { return core.Op{Name: spec.OpInsert, Arg: v} }
+	rem := func(v int) core.Op { return core.Op{Name: spec.OpRemove, Arg: v} }
+	look := func(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+	scripts := [][][]core.Op{
+		{{ins(1), rem(2), look(1)}, {ins(2), rem(1), look(2)}},
+	}
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 300, 97, 1500, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitFreedom measures the per-operation step bound of each process
+// under random schedules: every operation must complete within a bound that
+// does not depend on the schedule (here calibrated empirically with slack).
+func TestWaitFreedom(t *testing.T) {
+	const perOpBound = 400
+	for _, f := range factories {
+		h := universal.CounterHarness(4, 3, f, universal.Full)
+		scripts := [][]core.Op{{inc, inc, rd}, {inc, dec, inc}, {dec, inc, inc}}
+		err := sim.RandomTraces(h.Builder(scripts), 500, 101, 4000, func(tr *sim.Trace) error {
+			if tr.Truncated {
+				return fmt.Errorf("execution did not finish")
+			}
+			for pid := 0; pid < 3; pid++ {
+				if got := len(tr.Responses(pid)); got != 3 {
+					return fmt.Errorf("p%d completed %d of 3 ops", pid, got)
+				}
+			}
+			// Per-operation step counts.
+			steps := make(map[int]int)
+			active := make(map[int]bool)
+			evIdx := 0
+			for k, s := range tr.Steps {
+				for evIdx < len(tr.Events) && tr.Events[evIdx].StepIndex <= k {
+					ev := tr.Events[evIdx]
+					active[ev.PID] = ev.Kind == sim.EvInvoke
+					evIdx++
+				}
+				if active[s.PID] {
+					steps[s.PID]++
+				}
+			}
+			for pid, n := range steps {
+				if n > 3*perOpBound {
+					return fmt.Errorf("p%d took %d steps for 3 ops", pid, n)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+	}
+}
+
+// TestModeAlternation verifies Invariant 22 (the A/B mode structure of
+// Figure 3): successive values written to head alternate between ⟨q,⊥⟩ and
+// ⟨q',⟨r,j⟩⟩, and a B→A transition preserves the state component.
+func TestModeAlternation(t *testing.T) {
+	h := universal.CounterHarness(3, 3, llsc.CASFactory{}, universal.Full)
+	scripts := [][]core.Op{{inc, inc}, {dec, inc}, {inc, dec}}
+	type headRec struct {
+		hasRsp bool
+		state  string
+	}
+	parse := func(v sim.Value) (headRec, bool) {
+		pk, ok := v.(llsc.Packed)
+		if !ok {
+			return headRec{}, false
+		}
+		// The head value renders as <state,⊥> or <state,<r,pj>>.
+		s := fmt.Sprintf("%v", pk.Val)
+		if len(s) < 2 {
+			return headRec{}, false
+		}
+		inner := s[1 : len(s)-1]
+		for i := 0; i < len(inner); i++ {
+			if inner[i] == ',' {
+				return headRec{state: inner[:i], hasRsp: inner[i+1] != 0xE2 /* ⊥ first byte */}, true
+			}
+		}
+		return headRec{}, false
+	}
+	err := sim.RandomTraces(h.Builder(scripts), 300, 113, 4000, func(tr *sim.Trace) error {
+		prev := headRec{hasRsp: false, state: "0"}
+		for _, s := range tr.Steps {
+			if s.Prim.Obj.Name() != "head" {
+				continue
+			}
+			var newVal sim.Value
+			switch {
+			case s.Prim.Kind == sim.PrimCAS && s.Result == true:
+				// Skip context-only CASes (an LL adding a bit or an RL
+				// removing one); only value writes are mode transitions.
+				if s.Prim.Arg1.(llsc.Packed).Val == s.Prim.Arg2.(llsc.Packed).Val {
+					continue
+				}
+				newVal = s.Prim.Arg2
+			case s.Prim.Kind == sim.PrimWrite:
+				newVal = s.Prim.Arg1
+			default:
+				continue
+			}
+			cur, ok := parse(newVal)
+			if !ok {
+				return fmt.Errorf("unparseable head value %v", newVal)
+			}
+			if prev.hasRsp == cur.hasRsp {
+				return fmt.Errorf("head written twice in the same mode: %+v -> %+v", prev, cur)
+			}
+			if prev.hasRsp && prev.state != cur.state {
+				return fmt.Errorf("B->A transition changed the state: %+v -> %+v", prev, cur)
+			}
+			prev = cur
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Mutants ---
+
+func TestNoAnnounceClearFailsSequentialHI(t *testing.T) {
+	h := universal.CounterHarness(2, 2, llsc.CASFactory{}, universal.NoAnnounceClear)
+	_, err := hicheck.BuildCanon(h, 2, 2000)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a sequential HI violation, got %v", err)
+	}
+	t.Logf("witness: %v", v)
+}
+
+// phaseSearch runs the two-process phase pattern [p1:a][p0:b][p1:*][p0:*]
+// for all (a, b) in the grid and returns the first quiescent HI violation.
+func phaseSearch(t *testing.T, variant universal.Variant, maxA, maxB int) *hicheck.Violation {
+	t.Helper()
+	h := universal.CounterHarness(3, 2, llsc.CASFactory{}, variant)
+	// The canonical map of the mutant in sequential runs equals the full
+	// algorithm's (the removed releases are no-ops solo for the counter).
+	c, err := hicheck.BuildCanon(h, 2, 2000)
+	if err != nil {
+		t.Fatalf("mutant canonical map: %v", err)
+	}
+	scripts := [][]core.Op{{inc}, {inc}}
+	for a := 1; a <= maxA; a++ {
+		for b := 1; b <= maxB; b++ {
+			sch := &sim.Phases{List: []sim.Phase{
+				{PID: 1, Steps: a}, {PID: 0, Steps: b}, {PID: 1, Steps: 400}, {PID: 0, Steps: 400},
+			}}
+			tr := h.BuildScripts(scripts).Run(sch, 1000)
+			if tr.Truncated {
+				continue
+			}
+			if err := hicheck.CheckTrace(c, tr, hicheck.Quiescent); err != nil {
+				var v *hicheck.Violation
+				if errors.As(err, &v) {
+					t.Logf("phase (a=%d,b=%d): %v", a, b, v)
+					return v
+				}
+				t.Fatalf("phase (a=%d,b=%d): unexpected error %v", a, b, err)
+			}
+		}
+	}
+	return nil
+}
+
+func TestNoReleaseViolatesQuiescentHI(t *testing.T) {
+	// The Section 6.1 discussion: without RL, a process that helped (or
+	// tried to help) leaves its link in an announce cell or in head, and
+	// the context survives into a quiescent configuration.
+	if v := phaseSearch(t, universal.NoRelease, 30, 15); v == nil {
+		t.Fatal("no quiescent HI violation found; the RL lines appear unnecessary, contradicting Lemma 27")
+	}
+}
+
+func TestFullSurvivesPhaseGrid(t *testing.T) {
+	if v := phaseSearch(t, universal.Full, 30, 15); v != nil {
+		t.Fatalf("faithful Algorithm 5 violated quiescent HI: %v", v)
+	}
+}
+
+func TestNoEscapeLosesWaitFreedom(t *testing.T) {
+	p0Ops, p1Ops, p0Steps := universal.StarvationDemo(universal.NoEscape, 40, 4000)
+	if p1Ops < 20 {
+		t.Fatalf("adversary starved p1 too (%d ops); the schedule is wrong", p1Ops)
+	}
+	if p0Ops != 0 {
+		t.Fatalf("p0 completed despite the adversary; NoEscape should starve it (p0Steps=%d)", p0Steps)
+	}
+	if p0Steps < 100 {
+		t.Fatalf("p0 took only %d steps; starvation not demonstrated", p0Steps)
+	}
+	t.Logf("NoEscape: p0 starved after %d own steps while p1 completed %d ops", p0Steps, p1Ops)
+}
+
+func TestFullEscapesAdversary(t *testing.T) {
+	p0Ops, p1Ops, p0Steps := universal.StarvationDemo(universal.Full, 40, 6000)
+	if p0Ops != 1 {
+		t.Fatalf("p0 completed %d ops (steps=%d, p1Ops=%d); the escape hatch should have freed it", p0Ops, p0Steps, p1Ops)
+	}
+	t.Logf("Full: p0 escaped after %d own steps (p1 completed %d ops)", p0Steps, p1Ops)
+}
+
+// TestReadOnlyLeavesNoTrace: a read-only operation must not change the
+// memory representation at all (the paper's ApplyReadOnly).
+func TestReadOnlyLeavesNoTrace(t *testing.T) {
+	for _, f := range factories {
+		h := universal.CounterHarness(2, 2, f, universal.Full)
+		tr := h.BuildScripts([][]core.Op{{rd, rd}, {rd}}).Run(&sim.RoundRobin{}, 1000)
+		if tr.Truncated {
+			t.Fatalf("%s: reads did not finish", h.Name)
+		}
+		init := sim.Fingerprint(tr.Initial)
+		for k := 1; k <= len(tr.Steps); k++ {
+			if got := sim.Fingerprint(tr.MemAt(k)); got != init {
+				t.Fatalf("%s: read-only op changed memory at step %d: %s", h.Name, k, got)
+			}
+		}
+		if err := linearize.Check(h.Spec, tr.Events); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

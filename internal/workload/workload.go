@@ -1,0 +1,93 @@
+// Package workload generates seeded operation sequences for the benchmark
+// harness: operation mixes over counters, queues, registers and sets, with
+// uniform or Zipf-distributed arguments.
+package workload
+
+import (
+	"math/rand"
+
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// Gen is a deterministic workload generator.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen returns a generator seeded with seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// CounterMix returns n operations: readFrac of reads, the rest split evenly
+// between inc and dec.
+func (g *Gen) CounterMix(n int, readFrac float64) []core.Op {
+	ops := make([]core.Op, n)
+	for i := range ops {
+		switch {
+		case g.rng.Float64() < readFrac:
+			ops[i] = core.Op{Name: spec.OpRead}
+		case g.rng.Intn(2) == 0:
+			ops[i] = core.Op{Name: spec.OpInc}
+		default:
+			ops[i] = core.Op{Name: spec.OpDec}
+		}
+	}
+	return ops
+}
+
+// QueueMix returns n operations: peekFrac of peeks, the rest split evenly
+// between enqueues (uniform elements of 1..domain) and dequeues.
+func (g *Gen) QueueMix(n int, peekFrac float64, domain int) []core.Op {
+	ops := make([]core.Op, n)
+	for i := range ops {
+		switch {
+		case g.rng.Float64() < peekFrac:
+			ops[i] = core.Op{Name: spec.OpPeek}
+		case g.rng.Intn(2) == 0:
+			ops[i] = core.Op{Name: spec.OpEnq, Arg: g.rng.Intn(domain) + 1}
+		default:
+			ops[i] = core.Op{Name: spec.OpDeq}
+		}
+	}
+	return ops
+}
+
+// RegisterWrites returns n uniform writes over 1..k.
+func (g *Gen) RegisterWrites(n, k int) []core.Op {
+	ops := make([]core.Op, n)
+	for i := range ops {
+		ops[i] = core.Op{Name: spec.OpWrite, Arg: g.rng.Intn(k) + 1}
+	}
+	return ops
+}
+
+// SetZipf returns n set operations over elements 1..domain drawn from a
+// Zipf distribution with exponent s >= 1; lookupFrac of the operations are
+// lookups, the rest split evenly between inserts and removes.
+func (g *Gen) SetZipf(n, domain int, s, lookupFrac float64) []core.Op {
+	z := rand.NewZipf(g.rng, s, 1, uint64(domain-1))
+	ops := make([]core.Op, n)
+	for i := range ops {
+		v := int(z.Uint64()) + 1
+		switch {
+		case g.rng.Float64() < lookupFrac:
+			ops[i] = core.Op{Name: spec.OpLookup, Arg: v}
+		case g.rng.Intn(2) == 0:
+			ops[i] = core.Op{Name: spec.OpInsert, Arg: v}
+		default:
+			ops[i] = core.Op{Name: spec.OpRemove, Arg: v}
+		}
+	}
+	return ops
+}
+
+// Split deals ops round-robin to n processes.
+func Split(ops []core.Op, n int) [][]core.Op {
+	out := make([][]core.Op, n)
+	for i, op := range ops {
+		out[i%n] = append(out[i%n], op)
+	}
+	return out
+}

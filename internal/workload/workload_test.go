@@ -1,0 +1,105 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hiconc/internal/spec"
+	"hiconc/internal/workload"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := workload.NewGen(7).CounterMix(100, 0.3)
+	b := workload.NewGen(7).CounterMix(100, 0.3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different workloads")
+	}
+}
+
+func TestCounterMixComposition(t *testing.T) {
+	ops := workload.NewGen(1).CounterMix(10000, 0.5)
+	reads := 0
+	for _, op := range ops {
+		switch op.Name {
+		case spec.OpRead:
+			reads++
+		case spec.OpInc, spec.OpDec:
+		default:
+			t.Fatalf("unexpected op %v", op)
+		}
+	}
+	if frac := float64(reads) / float64(len(ops)); frac < 0.45 || frac > 0.55 {
+		t.Errorf("read fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestQueueMixDomain(t *testing.T) {
+	f := func(seed int64) bool {
+		ops := workload.NewGen(seed).QueueMix(200, 0.2, 5)
+		for _, op := range ops {
+			switch op.Name {
+			case spec.OpEnq:
+				if op.Arg < 1 || op.Arg > 5 {
+					return false
+				}
+			case spec.OpDeq, spec.OpPeek:
+				if op.Arg != 0 {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterWritesDomain(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, op := range workload.NewGen(seed).RegisterWrites(100, 7) {
+			if op.Name != spec.OpWrite || op.Arg < 1 || op.Arg > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetZipfDomain(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, op := range workload.NewGen(seed).SetZipf(100, 16, 1.2, 0.3) {
+			if op.Arg < 1 || op.Arg > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ops := workload.NewGen(3).CounterMix(10, 0)
+	parts := workload.Split(ops, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 10 {
+		t.Fatalf("split lost operations: %d", total)
+	}
+	if len(parts[0]) != 4 || len(parts[1]) != 3 || len(parts[2]) != 3 {
+		t.Fatalf("unbalanced split: %d/%d/%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+}
