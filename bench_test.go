@@ -19,6 +19,7 @@ import (
 	"hiconc/internal/linearize"
 	"hiconc/internal/llsc"
 	"hiconc/internal/registers"
+	"hiconc/internal/shard"
 	"hiconc/internal/sim"
 	"hiconc/internal/spec"
 	"hiconc/internal/universal"
@@ -208,6 +209,93 @@ func BenchmarkE12ClearingOverhead(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("leaky/reads=%.0f%%", readFrac*100), func(b *testing.B) {
 			benchApplier(b, conc.NewLeakyUniversal(conc.CounterObj{}, n), n, readFrac)
+		})
+	}
+}
+
+// --- E20: shard scaling and operation combining ---
+
+// benchPerKey drives applier a with n goroutines, each replaying its own
+// seeded per-key operation mix.
+func benchPerKey(b *testing.B, a conc.Applier, n int, mix func(pid int) []core.Op) {
+	b.Helper()
+	mixes := make([][]core.Op, n)
+	for pid := range mixes {
+		mixes[pid] = mix(pid)
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/n + 1
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			ops := mixes[pid]
+			for i := 0; i < per; i++ {
+				a.Apply(pid, ops[i%len(ops)])
+			}
+		}(pid)
+	}
+	wg.Wait()
+}
+
+// BenchmarkE20ShardScaling measures sharded-set and sharded-map throughput
+// against the single-Universal baseline as the shard count grows, over a
+// large key space with mild Zipf skew (s = 1.01, load spreads across
+// shards). Two scaling mechanisms compose: on multicore hardware shards
+// update in parallel, and on any hardware each update copies an immutable
+// state that is S times smaller — so throughput rises with S even at
+// GOMAXPROCS=1.
+func BenchmarkE20ShardScaling(b *testing.B) {
+	const n, domain = 8, 16384
+	setMix := func(pid int) []core.Op {
+		return workload.NewGen(int64(pid)).SetZipf(8192, domain, 1.01, 0.1)
+	}
+	mapMix := func(pid int) []core.Op {
+		return workload.NewGen(int64(pid)).MapZipf(8192, 256, 1.01, 0.1)
+	}
+	b.Run("set/baseline", func(b *testing.B) {
+		benchPerKey(b, conc.NewUniversal(conc.BigSetObj{Words: domain / 64}, n), n, setMix)
+	})
+	for _, s := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("set/shards=%d", s), func(b *testing.B) {
+			benchPerKey(b, shard.NewSet(n, domain, s), n, setMix)
+		})
+	}
+	b.Run("map/baseline", func(b *testing.B) {
+		benchPerKey(b, conc.NewUniversal(conc.MultiCounterObj{}, n), n, mapMix)
+	})
+	for _, s := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("map/shards=%d", s), func(b *testing.B) {
+			benchPerKey(b, shard.NewMap(n, 256, s), n, mapMix)
+		})
+	}
+}
+
+// BenchmarkE20Combining is the combining ablation: the same contended
+// workloads through Algorithm 5 with and without operation combining. The
+// counter case is total contention (every update hits one head); the
+// sharded-map case adds combining on top of sharding under Zipf skew.
+func BenchmarkE20Combining(b *testing.B) {
+	const n, keys = 8, 64
+	ctrMix := func(pid int) []core.Op {
+		return workload.NewGen(int64(pid)).CounterMix(4096, 0.0)
+	}
+	mapMix := func(pid int) []core.Op {
+		return workload.NewGen(int64(pid)).MapZipf(4096, keys, 1.5, 0.0)
+	}
+	b.Run("counter/plain", func(b *testing.B) {
+		benchPerKey(b, conc.NewUniversal(conc.CounterObj{}, n), n, ctrMix)
+	})
+	b.Run("counter/combining", func(b *testing.B) {
+		benchPerKey(b, conc.NewCombiningUniversal(conc.CounterObj{}, n), n, ctrMix)
+	})
+	for _, s := range []int{1, 4} {
+		b.Run(fmt.Sprintf("map/shards=%d/plain", s), func(b *testing.B) {
+			benchPerKey(b, shard.NewMap(n, keys, s), n, mapMix)
+		})
+		b.Run(fmt.Sprintf("map/shards=%d/combining", s), func(b *testing.B) {
+			benchPerKey(b, shard.NewCombiningMap(n, keys, s), n, mapMix)
 		})
 	}
 }

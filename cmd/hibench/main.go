@@ -9,6 +9,9 @@
 //	      mutex-guarded object and a bare CAS loop.
 //	E12 — the cost of history independence: ns/op of the full construction
 //	      vs the non-clearing ablation across operation mixes.
+//	E20 — scale-out: sharded set/map throughput vs shard count against the
+//	      single-Universal baseline, and the operation-combining ablation
+//	      under total contention.
 //
 // Absolute numbers depend on the machine; the paper makes no quantitative
 // claims, so the interesting output is the relative shape (see
@@ -16,7 +19,7 @@
 //
 // Usage:
 //
-//	hibench [-exp E10,E11,E12|all] [-ops N] [-procs list]
+//	hibench [-exp E10,E11,E12,E20|all] [-ops N] [-procs list]
 package main
 
 import (
@@ -28,11 +31,13 @@ import (
 	"time"
 
 	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/shard"
 	"hiconc/internal/workload"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12 or 'all'")
+	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20 or 'all'")
 	opsFlag   = flag.Int("ops", 200000, "operations per measurement")
 	procsFlag = flag.String("procs", "1,2,4,8", "goroutine counts for E11")
 )
@@ -52,6 +57,9 @@ func main() {
 	}
 	if all || want["E12"] {
 		runE12()
+	}
+	if all || want["E20"] {
+		runE20()
 	}
 }
 
@@ -212,6 +220,78 @@ func runE12() {
 	}
 	fmt.Println("    (overhead should be a modest constant factor — clearing adds one")
 	fmt.Println("     SC to head, one announce Store and the RL releases per operation)")
+}
+
+func runE20() {
+	fmt.Println("=== E20: scale-out — sharding and operation combining")
+	const n = 8
+
+	fmt.Println("\n    shard scaling (Zipf s=1.01, 10% reads; ns/op):")
+	fmt.Printf("%10s %14s %14s %14s %14s\n", "object", "baseline", "S=1", "S=4", "S=16")
+	setDomain := 16384
+	setMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+		return g.SetZipf(8192, setDomain, 1.01, 0.1)
+	})
+	row := []string{
+		perOp(runPerKey(conc.NewUniversal(conc.BigSetObj{Words: setDomain / 64}, n), n, *opsFlag/n, setMixes), *opsFlag),
+		perOp(runPerKey(shard.NewSet(n, setDomain, 1), n, *opsFlag/n, setMixes), *opsFlag),
+		perOp(runPerKey(shard.NewSet(n, setDomain, 4), n, *opsFlag/n, setMixes), *opsFlag),
+		perOp(runPerKey(shard.NewSet(n, setDomain, 16), n, *opsFlag/n, setMixes), *opsFlag),
+	}
+	fmt.Printf("%10s %14s %14s %14s %14s\n", "set", row[0], row[1], row[2], row[3])
+	mapKeys := 256
+	mapMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+		return g.MapZipf(8192, mapKeys, 1.01, 0.1)
+	})
+	row = []string{
+		perOp(runPerKey(conc.NewUniversal(conc.MultiCounterObj{}, n), n, *opsFlag/n, mapMixes), *opsFlag),
+		perOp(runPerKey(shard.NewMap(n, mapKeys, 1), n, *opsFlag/n, mapMixes), *opsFlag),
+		perOp(runPerKey(shard.NewMap(n, mapKeys, 4), n, *opsFlag/n, mapMixes), *opsFlag),
+		perOp(runPerKey(shard.NewMap(n, mapKeys, 16), n, *opsFlag/n, mapMixes), *opsFlag),
+	}
+	fmt.Printf("%10s %14s %14s %14s %14s\n", "map", row[0], row[1], row[2], row[3])
+	fmt.Println("    (each update copies an immutable state 1/S the size, and on")
+	fmt.Println("     multicore hardware shards also update in parallel)")
+
+	fmt.Println("\n    combining ablation (100% updates, total contention; ns/op):")
+	fmt.Printf("%10s %14s %14s\n", "object", "plain", "combining")
+	ctrMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op { return g.CounterMix(8192, 0.0) })
+	fmt.Printf("%10s %14s %14s\n", "counter",
+		perOp(runPerKey(conc.NewUniversal(conc.CounterObj{}, n), n, *opsFlag/n, ctrMixes), *opsFlag),
+		perOp(runPerKey(conc.NewCombiningUniversal(conc.CounterObj{}, n), n, *opsFlag/n, ctrMixes), *opsFlag))
+	hotMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op { return g.MapZipf(8192, mapKeys, 1.5, 0.0) })
+	fmt.Printf("%10s %14s %14s\n", "map/S=4",
+		perOp(runPerKey(shard.NewMap(n, mapKeys, 4), n, *opsFlag/n, hotMixes), *opsFlag),
+		perOp(runPerKey(shard.NewCombiningMap(n, mapKeys, 4), n, *opsFlag/n, hotMixes), *opsFlag))
+	fmt.Println("    (a process whose SC fails folds all announced commuting ops into")
+	fmt.Println("     one batched SC — contention converts into useful batching)")
+}
+
+// perKeyMixes builds one seeded per-key mix per goroutine.
+func perKeyMixes(n int, mk func(g *workload.Gen) []core.Op) [][]core.Op {
+	mixes := make([][]core.Op, n)
+	for pid := range mixes {
+		mixes[pid] = mk(workload.NewGen(int64(pid)))
+	}
+	return mixes
+}
+
+// runPerKey drives applier a with n goroutines replaying per-key mixes.
+func runPerKey(a conc.Applier, n, opsPer int, mixes [][]core.Op) time.Duration {
+	return timeIt(func() {
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				ops := mixes[pid]
+				for i := 0; i < opsPer; i++ {
+					a.Apply(pid, ops[i%len(ops)])
+				}
+			}(pid)
+		}
+		wg.Wait()
+	})
 }
 
 func runCounter(a conc.Applier, n, opsPer int, readFrac float64) time.Duration {

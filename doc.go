@@ -9,24 +9,49 @@
 // objects cannot be implemented wait-free and HI from small base objects,
 // and gives a wait-free state-quiescent HI universal construction from CAS.
 //
-// The module layout:
+// The module layout. Verification-side packages model algorithms in a
+// lock-step simulator where every primitive is one scheduled step;
+// native-side packages port the same algorithms to goroutines and
+// sync/atomic for performance work. The simulated register algorithms live
+// in internal/registers, their native ports in internal/conc (alongside the
+// native universal construction); the sequential specifications live in
+// internal/spec (string-encoded states, used by the simulator and the
+// checkers), while internal/conc defines its own Object interface over
+// immutable Go values for the native side.
 //
-//   - internal/core, internal/spec — abstract objects and sequential
-//     specifications (Section 2);
-//   - internal/sim — a lock-step shared-memory simulator in which every
-//     primitive is one scheduled step and every configuration's memory
-//     representation is observable (the substrate for all verification);
+//   - internal/core — the abstract-object model of Section 2: operations,
+//     responses, and the Spec interface with string-encoded states;
+//   - internal/spec — concrete sequential specifications (counter,
+//     register, max register, queue, set) for the simulator and checkers;
+//   - internal/sim — the lock-step shared-memory simulator in which every
+//     configuration's memory representation is observable (the substrate
+//     for all verification);
+//   - internal/harness — bundles an implementation with its spec and
+//     process roles so checkers, fuzzers and adversaries drive any
+//     implementation uniformly;
 //   - internal/linearize, internal/hicheck — linearizability checking and
 //     the history-independence checkers for Definitions 4/5/7/8;
-//   - internal/registers — Algorithms 1, 2 and 4, the Section 5.1 max
-//     register and set, and a queue-with-Peek from binary registers;
-//   - internal/llsc, internal/universal — Algorithm 6 (R-LLSC from CAS) and
-//     Algorithm 5 (the universal construction), with ablation mutants;
+//   - internal/registers — simulated Algorithms 1, 2 and 4, the Section
+//     5.1 max register and set, and a queue-with-Peek from binary
+//     registers;
+//   - internal/llsc, internal/universal — Algorithm 6 (R-LLSC from CAS)
+//     and simulated Algorithm 5 (the universal construction), with
+//     ablation mutants and the Fatourou–Kallimanis-style baseline;
 //   - internal/adversary — the constructive Theorem 17 and Theorem 20
 //     impossibility adversaries;
-//   - internal/conc, internal/obj — native goroutine/atomic ports and the
-//     user-facing objects (Counter, Register, MaxRegister, Queue, Stack,
-//     Set);
+//   - internal/conc — native ports: the R-LLSC Cell, Algorithm 5 (with the
+//     leaky ablation and the operation-combining extension), the SWSR
+//     register algorithms, sequential objects (counter, register, max
+//     register, queue, stack, set, big set, multi-counter) and baselines;
+//   - internal/shard — hash-partitioned scale-out objects composing many
+//     universal-construction instances into one history-independent set or
+//     multi-counter, plus the simulator harness that machine-checks the
+//     composition;
+//   - internal/obj — the user-facing objects (Counter, Register,
+//     MaxRegister, Queue, Stack, Set, ShardedSet, ShardedMap);
+//   - internal/workload — seeded operation-mix generators (uniform and
+//     Zipf-skewed per-key mixes) for benchmarks and drivers;
+//   - internal/trace — paper-figure-style execution rendering;
 //   - cmd/hiverify, cmd/histarve, cmd/hibench, cmd/hitrace — the
 //     experiment drivers (see EXPERIMENTS.md).
 //

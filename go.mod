@@ -1,0 +1,3 @@
+module hiconc
+
+go 1.24

@@ -1,0 +1,224 @@
+package conc_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// TestCombiningSequentialCounter: with a single process the combining
+// construction must behave exactly like Algorithm 5.
+func TestCombiningSequentialCounter(t *testing.T) {
+	u := conc.NewCombiningUniversal(conc.CounterObj{}, 1)
+	for i := 0; i < 10; i++ {
+		if rsp := u.Apply(0, core.Op{Name: spec.OpInc}); rsp != i {
+			t.Fatalf("inc %d returned %d", i, rsp)
+		}
+	}
+	if rsp := u.Apply(0, core.Op{Name: spec.OpDec}); rsp != 10 {
+		t.Fatalf("dec returned %d, want 10", rsp)
+	}
+	if got := u.State().(int); got != 9 {
+		t.Fatalf("state = %d, want 9", got)
+	}
+}
+
+// TestCombiningCounterResponsesArePermutation drives n goroutines of
+// increments through the combining construction. Every inc returns the
+// previous counter value, so across all operations the responses must be
+// exactly {0, ..., total-1}: any lost, duplicated or double-applied
+// operation breaks the permutation.
+func TestCombiningCounterResponsesArePermutation(t *testing.T) {
+	const n, per = 8, 2000
+	for _, mk := range []func() *conc.Universal{
+		func() *conc.Universal { return conc.NewUniversal(conc.CounterObj{}, n) },
+		func() *conc.Universal { return conc.NewCombiningUniversal(conc.CounterObj{}, n) },
+	} {
+		u := mk()
+		t.Run(u.Name(), func(t *testing.T) {
+			rsps := make([][]int, n)
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					out := make([]int, 0, per)
+					for i := 0; i < per; i++ {
+						out = append(out, u.Apply(pid, core.Op{Name: spec.OpInc}))
+					}
+					rsps[pid] = out
+				}(pid)
+			}
+			wg.Wait()
+			var all []int
+			for _, r := range rsps {
+				all = append(all, r...)
+			}
+			sort.Ints(all)
+			for i, v := range all {
+				if v != i {
+					t.Fatalf("response multiset is not a permutation: index %d holds %d", i, v)
+				}
+			}
+			if got := u.State().(int); got != n*per {
+				t.Fatalf("final state = %d, want %d", got, n*per)
+			}
+		})
+	}
+}
+
+// TestCombiningStateQuiescentHI: at quiescence the combining construction
+// must leave the same canonical memory representation as Algorithm 5 —
+// head ⟨q,⊥⟩, all announce cells ⊥, all contexts empty.
+func TestCombiningStateQuiescentHI(t *testing.T) {
+	const n = 6
+	u := conc.NewCombiningUniversal(conc.CounterObj{}, n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				op := core.Op{Name: spec.OpInc}
+				if i%3 == 0 {
+					op = core.Op{Name: spec.OpDec}
+				}
+				u.Apply(pid, op)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	want := u.State()
+	canon := conc.CanonicalSnapshot(conc.CounterObj{}, n, want)
+	if snap := u.Snapshot(); snap != canon {
+		t.Fatalf("combining memory not canonical at quiescence:\n got:  %s\n want: %s", snap, canon)
+	}
+}
+
+// TestCombiningSetMixedKeys stresses the set under combining with
+// conflicting (same-key insert/remove) and commuting operations, checking
+// the final membership against a sequentially-counted model per key and the
+// canonical representation at quiescence.
+func TestCombiningSetMixedKeys(t *testing.T) {
+	const n = 4
+	u := conc.NewCombiningUniversal(conc.SetObj{}, n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			// Each process owns two keys, so per-key order is sequential.
+			k1, k2 := 2*pid+1, 2*pid+2
+			for i := 0; i < 300; i++ {
+				u.Apply(pid, core.Op{Name: spec.OpInsert, Arg: k1})
+				u.Apply(pid, core.Op{Name: spec.OpRemove, Arg: k2})
+				u.Apply(pid, core.Op{Name: spec.OpInsert, Arg: k2})
+			}
+		}(pid)
+	}
+	wg.Wait()
+	mask := u.State().(uint64)
+	for pid := 0; pid < n; pid++ {
+		k1, k2 := 2*pid+1, 2*pid+2
+		if mask&(1<<(k1-1)) == 0 {
+			t.Errorf("key %d missing from final set", k1)
+		}
+		if mask&(1<<(k2-1)) == 0 {
+			t.Errorf("key %d missing from final set (last op was insert)", k2)
+		}
+	}
+	canon := conc.CanonicalSnapshot(conc.SetObj{}, n, mask)
+	if snap := u.Snapshot(); snap != canon {
+		t.Fatalf("set memory not canonical at quiescence:\n got:  %s\n want: %s", snap, canon)
+	}
+}
+
+// TestMultiCounterObjSemantics checks the sequential multi-counter object:
+// responses are previous counts and the state stays in canonical form
+// (sorted keys, no zero entries).
+func TestMultiCounterObjSemantics(t *testing.T) {
+	o := conc.MultiCounterObj{}
+	st := o.Init()
+	var rsp int
+	st, rsp = o.Apply(st, core.Op{Name: spec.OpInc, Arg: 5})
+	if rsp != 0 {
+		t.Errorf("first inc(5) returned %d", rsp)
+	}
+	st, rsp = o.Apply(st, core.Op{Name: spec.OpInc, Arg: 2})
+	if rsp != 0 {
+		t.Errorf("first inc(2) returned %d", rsp)
+	}
+	st, rsp = o.Apply(st, core.Op{Name: spec.OpInc, Arg: 5})
+	if rsp != 1 {
+		t.Errorf("second inc(5) returned %d, want 1", rsp)
+	}
+	if got := fmt.Sprintf("%v", st); got != "[{2 1} {5 2}]" {
+		t.Errorf("state = %s, want sorted [{2 1} {5 2}]", got)
+	}
+	st, _ = o.Apply(st, core.Op{Name: spec.OpDec, Arg: 2})
+	if got := fmt.Sprintf("%v", st); got != "[{5 2}]" {
+		t.Errorf("state after dec(2) = %s, want zero entry elided", got)
+	}
+	_, rsp = o.Apply(st, core.Op{Name: spec.OpRead, Arg: 5})
+	if rsp != 2 {
+		t.Errorf("read(5) = %d, want 2", rsp)
+	}
+	_, rsp = o.Apply(st, core.Op{Name: spec.OpRead, Arg: 9})
+	if rsp != 0 {
+		t.Errorf("read(9) = %d, want 0", rsp)
+	}
+	// Canonical form: two different histories reaching the same abstract
+	// state must yield identical representations.
+	a := o.Init()
+	a, _ = o.Apply(a, core.Op{Name: spec.OpInc, Arg: 1})
+	a, _ = o.Apply(a, core.Op{Name: spec.OpInc, Arg: 3})
+	b := o.Init()
+	b, _ = o.Apply(b, core.Op{Name: spec.OpInc, Arg: 3})
+	b, _ = o.Apply(b, core.Op{Name: spec.OpInc, Arg: 1})
+	b, _ = o.Apply(b, core.Op{Name: spec.OpInc, Arg: 2})
+	b, _ = o.Apply(b, core.Op{Name: spec.OpDec, Arg: 2})
+	if fmt.Sprintf("%v", a) != fmt.Sprintf("%v", b) {
+		t.Errorf("multi-counter representation not canonical: %v vs %v", a, b)
+	}
+}
+
+// TestMultiCounterPerKeyPermutation: concurrent increments on a shared key
+// through the combining construction must return each previous count exactly
+// once.
+func TestMultiCounterPerKeyPermutation(t *testing.T) {
+	const n, per = 6, 800
+	u := conc.NewCombiningUniversal(conc.MultiCounterObj{}, n)
+	rsps := make([][]int, n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			out := make([]int, 0, per)
+			for i := 0; i < per; i++ {
+				out = append(out, u.Apply(pid, core.Op{Name: spec.OpInc, Arg: 7}))
+			}
+			rsps[pid] = out
+		}(pid)
+	}
+	wg.Wait()
+	var all []int
+	for _, r := range rsps {
+		all = append(all, r...)
+	}
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("per-key responses are not a permutation at index %d: %d", i, v)
+		}
+	}
+	canon := conc.CanonicalSnapshot(conc.MultiCounterObj{}, n, u.State())
+	if snap := u.Snapshot(); snap != canon {
+		t.Fatalf("multi-counter memory not canonical at quiescence:\n got:  %s\n want: %s", snap, canon)
+	}
+}

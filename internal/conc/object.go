@@ -52,6 +52,13 @@ func (CounterObj) Apply(state any, op core.Op) (any, int) {
 // ReadOnly implements Object.
 func (CounterObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpRead }
 
+// Combinable implements Combiner: increments and decrements always commute.
+func (CounterObj) Combinable(a, b core.Op) bool {
+	return isCounterUpdate(a) && isCounterUpdate(b)
+}
+
+func isCounterUpdate(op core.Op) bool { return op.Name == spec.OpInc || op.Name == spec.OpDec }
+
 // RegisterObj is an integer register.
 type RegisterObj struct {
 	// V0 is the initial value.
@@ -232,3 +239,133 @@ func (SetObj) Apply(state any, op core.Op) (any, int) {
 
 // ReadOnly implements Object.
 func (SetObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpLookup }
+
+// Combinable implements Combiner: inserts and removes commute unless they
+// are an insert/remove pair on the same element.
+func (SetObj) Combinable(a, b core.Op) bool {
+	if a.Name == spec.OpLookup || b.Name == spec.OpLookup {
+		return false
+	}
+	return a.Arg != b.Arg || a.Name == b.Name
+}
+
+// BigSetObj is a set over {1..64*Words} stored as an immutable []uint64
+// bitmask — the production-shaped counterpart of SetObj for domains beyond
+// one word. Every update copies the mask (the state must be an immutable
+// value), so update cost grows with the domain; sharding a big set divides
+// that cost by the shard count.
+type BigSetObj struct {
+	// Words is the mask length; the domain is {1..64*Words}.
+	Words int
+}
+
+var _ Object = BigSetObj{}
+var _ Combiner = BigSetObj{}
+
+// Name implements Object.
+func (o BigSetObj) Name() string { return fmt.Sprintf("bigset[%d]", 64*o.Words) }
+
+// Init implements Object.
+func (o BigSetObj) Init() any { return make([]uint64, o.Words) }
+
+// Apply implements Object.
+func (o BigSetObj) Apply(state any, op core.Op) (any, int) {
+	m := state.([]uint64)
+	if op.Arg < 1 || op.Arg > 64*o.Words {
+		panic(fmt.Sprintf("conc: bigset element %d out of range 1..%d", op.Arg, 64*o.Words))
+	}
+	w, b := (op.Arg-1)/64, uint64(1)<<uint((op.Arg-1)%64)
+	switch op.Name {
+	case spec.OpInsert, spec.OpRemove:
+		next := make([]uint64, len(m))
+		copy(next, m)
+		if op.Name == spec.OpInsert {
+			next[w] |= b
+		} else {
+			next[w] &^= b
+		}
+		return next, 0
+	case spec.OpLookup:
+		if m[w]&b != 0 {
+			return state, 1
+		}
+		return state, 0
+	default:
+		panic("conc: bigset: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements Object.
+func (BigSetObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpLookup }
+
+// Combinable implements Combiner: same rule as SetObj.
+func (BigSetObj) Combinable(a, b core.Op) bool { return SetObj{}.Combinable(a, b) }
+
+// KV is one entry of a MultiCounterObj state: the count of one key.
+type KV struct {
+	// K is the key; V its current (nonzero) count.
+	K, V int
+}
+
+// MultiCounterObj is a multi-counter (a map from int keys to int counts):
+// inc/dec on a key return the key's previous count, read returns its current
+// count. The state is an immutable slice of KV pairs sorted by key with
+// zero counts elided, so every abstract state has exactly one
+// representation — the canonical form required for history independence.
+type MultiCounterObj struct{}
+
+var _ Object = MultiCounterObj{}
+var _ Combiner = MultiCounterObj{}
+
+// Name implements Object.
+func (MultiCounterObj) Name() string { return "multicounter" }
+
+// Init implements Object.
+func (MultiCounterObj) Init() any { return []KV(nil) }
+
+// Apply implements Object. Op.Arg is the key.
+func (MultiCounterObj) Apply(state any, op core.Op) (any, int) {
+	kvs := state.([]KV)
+	i := 0
+	for i < len(kvs) && kvs[i].K < op.Arg {
+		i++
+	}
+	cur := 0
+	present := i < len(kvs) && kvs[i].K == op.Arg
+	if present {
+		cur = kvs[i].V
+	}
+	var next int
+	switch op.Name {
+	case spec.OpRead:
+		return state, cur
+	case spec.OpInc:
+		next = cur + 1
+	case spec.OpDec:
+		next = cur - 1
+	default:
+		panic("conc: multicounter: unknown op " + op.Name)
+	}
+	out := make([]KV, 0, len(kvs)+1)
+	out = append(out, kvs[:i]...)
+	if next != 0 {
+		out = append(out, KV{K: op.Arg, V: next})
+	}
+	if present {
+		out = append(out, kvs[i+1:]...)
+	} else {
+		out = append(out, kvs[i:]...)
+	}
+	if len(out) == 0 {
+		return []KV(nil), cur
+	}
+	return out, cur
+}
+
+// ReadOnly implements Object.
+func (MultiCounterObj) ReadOnly(op core.Op) bool { return op.Name == spec.OpRead }
+
+// Combinable implements Combiner: per-key additions commute on every key.
+func (MultiCounterObj) Combinable(a, b core.Op) bool {
+	return isCounterUpdate(a) && isCounterUpdate(b)
+}

@@ -20,13 +20,29 @@ type Applier interface {
 	Name() string
 }
 
+// rspRec is one response record ⟨rsp, proc⟩ of a head value.
+type rspRec struct {
+	rsp  int
+	proc int
+}
+
 // headState mirrors the paper's ⟨state, r⟩ head value: the abstract state
-// plus the response record ⟨rsp, proc⟩ (⊥ when hasRsp is false).
+// plus the response records (⊥ when recs is empty). Algorithm 5 stores at
+// most one record; the combining extension installs a batch of records, one
+// per folded operation, linearized in slice order at the installing SC.
 type headState struct {
-	state  any
-	hasRsp bool
-	rsp    int
-	proc   int
+	state any
+	recs  []rspRec
+}
+
+// containsProc reports whether recs holds a record for process i.
+func containsProc(recs []rspRec, i int) bool {
+	for _, r := range recs {
+		if r.proc == i {
+			return true
+		}
+	}
+	return false
 }
 
 type annKind int
@@ -51,15 +67,38 @@ type pad struct {
 	_ [56]byte
 }
 
+// Combiner is an optional extension of Object enabling operation combining:
+// when a process detects contention on head, it may fold several announced
+// operations into a single SC, provided the object vouches that they commute
+// as state updates. Responses need not commute — the batch is linearized in
+// a fixed order and each response is computed from that order.
+type Combiner interface {
+	// Combinable reports whether a and b commute as state transformations
+	// (Δ(Δ(q,a),b) and Δ(Δ(q,b),a) reach the same state for every q), so
+	// both may be folded into one linearization batch. It is only called
+	// for state-changing operations and must be symmetric.
+	Combinable(a, b core.Op) bool
+}
+
+// pendingOp is an announced operation selected for a batch.
+type pendingOp struct {
+	op   core.Op
+	proc int
+}
+
 // Universal is the native Algorithm 5: a wait-free, state-quiescent
 // history-independent universal construction over R-LLSC Cells. When Leaky
 // is set the clearing steps (line 28's announce reset and the red RL lines)
 // are skipped — the construction remains linearizable and wait-free but
 // retains responses and contexts, the ablation measured by experiment E12.
+// When comb is set (NewCombiningUniversal), a process whose SC on head
+// failed folds all announced mutually-commuting operations into its next
+// attempt, installing a batch of response records with one SC.
 type Universal struct {
 	obj   Object
 	n     int
 	leaky bool
+	comb  Combiner
 	head  *Cell
 	ann   []*Cell
 	prio  []pad
@@ -69,15 +108,28 @@ var _ Applier = (*Universal)(nil)
 
 // NewUniversal returns a fresh instance of the construction for n processes.
 func NewUniversal(obj Object, n int) *Universal {
-	return newUniversal(obj, n, false)
+	return newUniversal(obj, n, false, nil)
 }
 
 // NewLeakyUniversal returns the non-clearing ablation.
 func NewLeakyUniversal(obj Object, n int) *Universal {
-	return newUniversal(obj, n, true)
+	return newUniversal(obj, n, true, nil)
 }
 
-func newUniversal(obj Object, n int, leaky bool) *Universal {
+// NewCombiningUniversal returns an instance with operation combining
+// enabled; obj must implement Combiner. Combining preserves linearizability,
+// wait-freedom and state-quiescent HI: batches are applied atomically by the
+// same head SC that Algorithm 5 uses for a single operation, and every
+// clearing step still runs per announced operation.
+func NewCombiningUniversal(obj Object, n int) *Universal {
+	comb, ok := obj.(Combiner)
+	if !ok {
+		panic(fmt.Sprintf("conc: object %s does not implement Combiner", obj.Name()))
+	}
+	return newUniversal(obj, n, false, comb)
+}
+
+func newUniversal(obj Object, n int, leaky bool, comb Combiner) *Universal {
 	if n < 1 || n > 64 {
 		panic(fmt.Sprintf("conc: n = %d out of range 1..64", n))
 	}
@@ -85,6 +137,7 @@ func newUniversal(obj Object, n int, leaky bool) *Universal {
 		obj:   obj,
 		n:     n,
 		leaky: leaky,
+		comb:  comb,
 		head:  NewCell(headState{state: obj.Init()}),
 		ann:   make([]*Cell, n),
 		prio:  make([]pad, n),
@@ -98,10 +151,14 @@ func newUniversal(obj Object, n int, leaky bool) *Universal {
 
 // Name implements Applier.
 func (u *Universal) Name() string {
-	if u.leaky {
+	switch {
+	case u.leaky:
 		return "universal-leaky"
+	case u.comb != nil:
+		return "universal-hi-combining"
+	default:
+		return "universal-hi"
 	}
-	return "universal-hi"
 }
 
 // N returns the number of processes.
@@ -122,11 +179,14 @@ func (u *Universal) Apply(pid int, op core.Op) int {
 
 // applyUpdate is the state-changing path (Algorithm 5 lines 4-29), with the
 // same line structure as the simulated implementation in
-// internal/universal.
+// internal/universal. The batch generalization: head may carry several
+// response records, all of which are posted (lines 17-20, once per record)
+// before the head is cleared (line 21).
 func (u *Universal) applyUpdate(i int, op core.Op) int {
 	u.ann[i].Store(annState{kind: annOp, op: op}) // Line 4
 	prio := &u.prio[i].v
 	done := func() bool { return u.loadAnn(i).kind == annRsp }
+	contended := false
 
 	for !done() { // Line 5
 		hv, ok := u.head.LLWithAbort(i, done) // Line 6 (+6R escape)
@@ -134,38 +194,50 @@ func (u *Universal) applyUpdate(i int, op core.Op) int {
 			break
 		}
 		h := hv.(headState)
-		if !h.hasRsp { // Line 7: mode A
-			var applyOp core.Op
-			var j int
-			if help := u.loadAnn(*prio); help.kind == annOp { // Lines 8-9
-				applyOp, j = help.op, *prio
-			} else {
-				if u.loadAnn(i).kind != annOp { // Line 11
+		if len(h.recs) == 0 { // Line 7: mode A
+			var st any
+			var recs []rspRec
+			if u.comb != nil && contended {
+				batch, ok := u.gatherBatch(i, op, *prio)
+				if !ok { // Line 11
 					continue
 				}
-				applyOp, j = op, i // Line 12
+				st = h.state
+				recs = make([]rspRec, len(batch))
+				for k, b := range batch {
+					var rsp int
+					st, rsp = u.obj.Apply(st, b.op) // Line 13
+					recs[k] = rspRec{rsp: rsp, proc: b.proc}
+				}
+			} else {
+				var applyOp core.Op
+				var j int
+				if help := u.loadAnn(*prio); help.kind == annOp { // Lines 8-9
+					applyOp, j = help.op, *prio
+				} else {
+					if u.loadAnn(i).kind != annOp { // Line 11
+						continue
+					}
+					applyOp, j = op, i // Line 12
+				}
+				var rsp int
+				st, rsp = u.obj.Apply(h.state, applyOp) // Line 13
+				recs = []rspRec{{rsp: rsp, proc: j}}
 			}
-			st, rsp := u.obj.Apply(h.state, applyOp)                                 // Line 13
-			if u.head.SC(i, headState{state: st, hasRsp: true, rsp: rsp, proc: j}) { // Line 14
+			if u.head.SC(i, headState{state: st, recs: recs}) { // Line 14
 				*prio = (*prio + 1) % u.n // Line 15
+				contended = false
+			} else {
+				contended = true
 			}
 			continue
 		}
-		rsp, j := h.rsp, h.proc                 // Line 17
-		av, ok := u.ann[j].LLWithAbort(i, done) // Line 18 (+18R escape)
-		if !ok {
-			u.ann[j].RL(i) // Line 18R.2
+		posted, escaped := u.postRecs(i, h, done, false) // Lines 17-20 per record
+		if escaped {
 			break
 		}
-		a := av.(annState)
-		if u.head.VL(i) { // Line 19
-			if a.kind == annOp { // Line 20
-				u.ann[j].SC(i, annState{kind: annRsp, rsp: rsp})
-			}
+		if posted {
 			u.head.SC(i, headState{state: h.state}) // Line 21
-		}
-		if a.kind == annBot && !u.leaky { // Line 22 (red)
-			u.ann[j].RL(i)
 		}
 	}
 
@@ -175,22 +247,105 @@ func (u *Universal) applyUpdate(i int, op core.Op) int {
 	}
 	// Line 25 (+25R escape).
 	hv, ok := u.head.LLWithAbort(i, func() bool {
-		h := u.head.Load().(headState)
-		return !(h.hasRsp && h.proc == i)
+		return !containsProc(u.head.Load().(headState).recs, i)
 	})
-	if !ok {
-		if !u.leaky {
-			u.head.RL(i) // Line 27 (red)
+	cleared := false
+	if ok {
+		if h := hv.(headState); containsProc(h.recs, i) { // Line 26
+			// Before erasing a record that may cover other processes'
+			// operations, post their responses (the caller already holds its
+			// own); abandon if the head moves under us — whoever moved it
+			// posted everything first.
+			posted := true
+			if len(h.recs) > 1 {
+				posted, _ = u.postRecs(i, h, func() bool { return !u.head.VL(i) }, true)
+			}
+			if posted {
+				cleared = u.head.SC(i, headState{state: h.state})
+			}
 		}
-	} else if h := hv.(headState); h.hasRsp && h.proc == i { // Line 26
-		u.head.SC(i, headState{state: h.state})
-	} else if !u.leaky {
+	}
+	if !cleared && !u.leaky {
 		u.head.RL(i) // Line 27 (red)
 	}
 	if !u.leaky {
 		u.ann[i].Store(annState{}) // Line 28
 	}
 	return response.rsp // Line 29
+}
+
+// postRecs runs lines 17-20 (and the line 22 release) once per response
+// record of h: each pending response is SC'd into its announce cell under a
+// valid head link. It reports posted = true when every record was handled
+// with the head link intact (so the caller may attempt the line 21 clearing
+// SC), and escaped = true when the abort condition fired mid-LL (line 18R:
+// the caller proceeds to line 24). skipSelf omits the caller's own record,
+// used on the line 26 path where the caller already consumed its response.
+func (u *Universal) postRecs(i int, h headState, abort func() bool, skipSelf bool) (posted, escaped bool) {
+	for _, rec := range h.recs {
+		if skipSelf && rec.proc == i {
+			continue
+		}
+		av, ok := u.ann[rec.proc].LLWithAbort(i, abort) // Line 18 (+18R escape)
+		if !ok {
+			u.ann[rec.proc].RL(i) // Line 18R.2
+			return false, true
+		}
+		a := av.(annState)
+		if !u.head.VL(i) { // Line 19
+			if a.kind == annBot && !u.leaky { // Line 22 (red)
+				u.ann[rec.proc].RL(i)
+			}
+			return false, false
+		}
+		if a.kind == annOp { // Line 20
+			u.ann[rec.proc].SC(i, annState{kind: annRsp, rsp: rec.rsp})
+		}
+		if a.kind == annBot && !u.leaky { // Line 22 (red)
+			u.ann[rec.proc].RL(i)
+		}
+	}
+	return true, false
+}
+
+// gatherBatch selects the operations folded into the next SC on head when
+// combining is armed (the caller's previous SC attempt failed), in
+// linearization order. The mandatory Algorithm 5 choice comes first: the
+// priority process's announced operation if one is pending, otherwise the
+// caller's own (lines 8-12; ok = false reproduces the line 11 recheck).
+// Every other announced operation that commutes with the whole batch is
+// appended in ascending process order.
+func (u *Universal) gatherBatch(i int, op core.Op, prio int) ([]pendingOp, bool) {
+	var first pendingOp
+	if help := u.loadAnn(prio); help.kind == annOp { // Lines 8-9
+		first = pendingOp{op: help.op, proc: prio}
+	} else {
+		if u.loadAnn(i).kind != annOp { // Line 11
+			return nil, false
+		}
+		first = pendingOp{op: op, proc: i} // Line 12
+	}
+	batch := append(make([]pendingOp, 0, u.n), first)
+	for j := 0; j < u.n; j++ {
+		if j == first.proc {
+			continue
+		}
+		a := u.loadAnn(j)
+		if a.kind != annOp {
+			continue
+		}
+		fits := true
+		for _, b := range batch {
+			if !u.comb.Combinable(b.op, a.op) {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			batch = append(batch, pendingOp{op: a.op, proc: j})
+		}
+	}
+	return batch, true
 }
 
 // State returns the current abstract state (the val component of head).
@@ -213,10 +368,20 @@ func renderCell(b *strings.Builder, name string, c *Cell) {
 	v, ctx := c.Snapshot()
 	switch t := v.(type) {
 	case headState:
-		if t.hasRsp {
-			fmt.Fprintf(b, "%s=<%v,<%d,p%d>>/ctx=%b", name, t.state, t.rsp, t.proc, ctx)
-		} else {
+		switch len(t.recs) {
+		case 0:
 			fmt.Fprintf(b, "%s=<%v,_>/ctx=%b", name, t.state, ctx)
+		case 1:
+			fmt.Fprintf(b, "%s=<%v,<%d,p%d>>/ctx=%b", name, t.state, t.recs[0].rsp, t.recs[0].proc, ctx)
+		default:
+			fmt.Fprintf(b, "%s=<%v,[", name, t.state)
+			for k, r := range t.recs {
+				if k > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(b, "<%d,p%d>", r.rsp, r.proc)
+			}
+			fmt.Fprintf(b, "]>/ctx=%b", ctx)
 		}
 	case annState:
 		switch t.kind {
@@ -236,7 +401,7 @@ func renderCell(b *strings.Builder, name string, c *Cell) {
 // state q for an n-process instance: head holds ⟨q,⊥⟩ with an empty context
 // and every announce cell holds ⊥ with an empty context.
 func CanonicalSnapshot(obj Object, n int, q any) string {
-	u := newUniversal(obj, n, false)
+	u := newUniversal(obj, n, false, nil)
 	u.head.Store(headState{state: q})
 	return u.Snapshot()
 }

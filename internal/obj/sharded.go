@@ -1,0 +1,99 @@
+package obj
+
+import (
+	"hiconc/internal/shard"
+)
+
+// ShardedSet is a wait-free, state-quiescent history-independent set over
+// {1..domain}, hash-partitioned across independent universal-construction
+// shards so that operations on keys of different shards do not contend.
+// Combining additionally folds commuting same-shard operations into batched
+// head updates under contention.
+type ShardedSet struct {
+	s *shard.Set
+}
+
+// NewShardedSet creates a sharded set for n processes over keys {1..domain}
+// with nShards shards.
+func NewShardedSet(n, domain, nShards int) *ShardedSet {
+	return &ShardedSet{s: shard.NewSet(n, domain, nShards)}
+}
+
+// NewCombiningShardedSet creates a sharded set whose shards also combine
+// commuting operations under contention.
+func NewCombiningShardedSet(n, domain, nShards int) *ShardedSet {
+	return &ShardedSet{s: shard.NewCombiningSet(n, domain, nShards)}
+}
+
+// Handle returns process pid's handle.
+func (s *ShardedSet) Handle(pid int) *ShardedSetHandle {
+	return &ShardedSetHandle{s: s.s, pid: pid}
+}
+
+// Elements returns the sorted members; composite reads are only atomic at
+// quiescence.
+func (s *ShardedSet) Elements() []int { return s.s.Elements() }
+
+// Snapshot returns the composite memory representation (for HI inspection).
+func (s *ShardedSet) Snapshot() string { return s.s.Snapshot() }
+
+// ShardedSetHandle is one process's view of a ShardedSet.
+type ShardedSetHandle struct {
+	s   *shard.Set
+	pid int
+}
+
+// Insert adds v to the set.
+func (h *ShardedSetHandle) Insert(v int) { h.s.Insert(h.pid, v) }
+
+// Remove deletes v from the set.
+func (h *ShardedSetHandle) Remove(v int) { h.s.Remove(h.pid, v) }
+
+// Contains reports whether v is in the set.
+func (h *ShardedSetHandle) Contains(v int) bool { return h.s.Contains(h.pid, v) }
+
+// ShardedMap is a wait-free, state-quiescent history-independent
+// multi-counter over keys {1..keys}, hash-partitioned across independent
+// universal-construction shards.
+type ShardedMap struct {
+	m *shard.Map
+}
+
+// NewShardedMap creates a sharded multi-counter for n processes over keys
+// {1..keys} with nShards shards.
+func NewShardedMap(n, keys, nShards int) *ShardedMap {
+	return &ShardedMap{m: shard.NewMap(n, keys, nShards)}
+}
+
+// NewCombiningShardedMap creates a sharded multi-counter whose shards also
+// combine commuting operations under contention.
+func NewCombiningShardedMap(n, keys, nShards int) *ShardedMap {
+	return &ShardedMap{m: shard.NewCombiningMap(n, keys, nShards)}
+}
+
+// Handle returns process pid's handle.
+func (m *ShardedMap) Handle(pid int) *ShardedMapHandle {
+	return &ShardedMapHandle{m: m.m, pid: pid}
+}
+
+// Counts returns the nonzero counts keyed by key; composite reads are only
+// atomic at quiescence.
+func (m *ShardedMap) Counts() map[int]int { return m.m.Counts() }
+
+// Snapshot returns the composite memory representation (for HI inspection).
+func (m *ShardedMap) Snapshot() string { return m.m.Snapshot() }
+
+// ShardedMapHandle is one process's view of a ShardedMap.
+type ShardedMapHandle struct {
+	m   *shard.Map
+	pid int
+}
+
+// Inc increments key's count and returns the previous count.
+func (h *ShardedMapHandle) Inc(key int) int { return h.m.Inc(h.pid, key) }
+
+// Dec decrements key's count and returns the previous count.
+func (h *ShardedMapHandle) Dec(key int) int { return h.m.Dec(h.pid, key) }
+
+// Get returns key's current count.
+func (h *ShardedMapHandle) Get(key int) int { return h.m.Get(h.pid, key) }

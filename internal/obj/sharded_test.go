@@ -1,0 +1,63 @@
+package obj_test
+
+import (
+	"sync"
+	"testing"
+
+	"hiconc/internal/obj"
+)
+
+func TestShardedSetHandles(t *testing.T) {
+	const n = 4
+	s := obj.NewShardedSet(n, 128, 8)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			h := s.Handle(pid)
+			for k := pid + 1; k <= 128; k += n {
+				h.Insert(k)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if got := len(s.Elements()); got != 128 {
+		t.Fatalf("set holds %d elements, want 128", got)
+	}
+	h := s.Handle(0)
+	h.Remove(64)
+	if h.Contains(64) {
+		t.Error("set contains 64 after remove")
+	}
+	if !h.Contains(1) {
+		t.Error("set lost 1")
+	}
+}
+
+func TestShardedMapHandles(t *testing.T) {
+	const n = 4
+	m := obj.NewCombiningShardedMap(n, 32, 4)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			h := m.Handle(pid)
+			for i := 0; i < 250; i++ {
+				h.Inc(i%32 + 1)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range m.Counts() {
+		total += v
+	}
+	if total != n*250 {
+		t.Fatalf("total count = %d, want %d", total, n*250)
+	}
+	if got := m.Handle(0).Get(1); got <= 0 {
+		t.Errorf("Get(1) = %d, want positive", got)
+	}
+}

@@ -1,0 +1,260 @@
+package shard_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"hiconc/internal/shard"
+	"hiconc/internal/workload"
+)
+
+// TestShardOfRangeAndDeterminism: the router must be a pure function into
+// [0, S) covering every shard for a reasonable domain.
+func TestShardOfRangeAndDeterminism(t *testing.T) {
+	for _, nShards := range []int{1, 2, 4, 16} {
+		hit := make([]int, nShards)
+		for key := 1; key <= 1024; key++ {
+			sh := shard.ShardOf(key, nShards)
+			if sh < 0 || sh >= nShards {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", key, nShards, sh)
+			}
+			if sh != shard.ShardOf(key, nShards) {
+				t.Fatalf("ShardOf(%d, %d) not deterministic", key, nShards)
+			}
+			hit[sh]++
+		}
+		for sh, c := range hit {
+			if c == 0 {
+				t.Errorf("S=%d: shard %d receives no keys out of 1024", nShards, sh)
+			}
+		}
+	}
+}
+
+func TestSetSequentialSemantics(t *testing.T) {
+	s := shard.NewSet(1, 100, 4)
+	for _, k := range []int{1, 7, 42, 99, 100} {
+		if s.Contains(0, k) {
+			t.Errorf("fresh set contains %d", k)
+		}
+		s.Insert(0, k)
+		if !s.Contains(0, k) {
+			t.Errorf("set missing %d after insert", k)
+		}
+	}
+	s.Remove(0, 42)
+	if s.Contains(0, 42) {
+		t.Error("set contains 42 after remove")
+	}
+	want := []int{1, 7, 99, 100}
+	if got := s.Elements(); !equalInts(got, want) {
+		t.Errorf("Elements() = %v, want %v", got, want)
+	}
+}
+
+func TestMapSequentialSemantics(t *testing.T) {
+	m := shard.NewMap(1, 50, 4)
+	if rsp := m.Inc(0, 10); rsp != 0 {
+		t.Errorf("first inc returned %d", rsp)
+	}
+	if rsp := m.Inc(0, 10); rsp != 1 {
+		t.Errorf("second inc returned %d", rsp)
+	}
+	m.Inc(0, 33)
+	m.Dec(0, 33)
+	if got := m.Get(0, 10); got != 2 {
+		t.Errorf("Get(10) = %d, want 2", got)
+	}
+	counts := m.Counts()
+	if len(counts) != 1 || counts[10] != 2 {
+		t.Errorf("Counts() = %v, want {10: 2} (zero counts elided)", counts)
+	}
+}
+
+// TestSetConcurrentDisjointKeys: processes touching disjoint keys must all
+// land, and the composite memory must be canonical at quiescence.
+func TestSetConcurrentDisjointKeys(t *testing.T) {
+	const n, domain, perProc = 8, 200, 20
+	for _, mk := range []func() *shard.Set{
+		func() *shard.Set { return shard.NewSet(n, domain, 4) },
+		func() *shard.Set { return shard.NewCombiningSet(n, domain, 4) },
+	} {
+		s := mk()
+		t.Run(s.Name(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					for i := 0; i < perProc; i++ {
+						key := pid*perProc + i + 1
+						s.Insert(pid, key)
+						if i%2 == 1 {
+							s.Remove(pid, key)
+						}
+					}
+				}(pid)
+			}
+			wg.Wait()
+			var want []int
+			for pid := 0; pid < n; pid++ {
+				for i := 0; i < perProc; i += 2 {
+					want = append(want, pid*perProc+i+1)
+				}
+			}
+			sort.Ints(want)
+			if got := s.Elements(); !equalInts(got, want) {
+				t.Fatalf("Elements() = %v, want %v", got, want)
+			}
+			canon := shard.CanonicalSetSnapshot(n, domain, s.NumShards(), want)
+			if snap := s.Snapshot(); snap != canon {
+				t.Fatalf("composite memory not canonical at quiescence:\n got:  %s\n want: %s", snap, canon)
+			}
+		})
+	}
+}
+
+// TestSetHistoryIndependenceAcrossHistories: two different operation
+// histories reaching the same abstract set must leave byte-identical
+// composite representations at quiescence.
+func TestSetHistoryIndependenceAcrossHistories(t *testing.T) {
+	const n, domain, nShards = 4, 64, 4
+	run := func(ops func(s *shard.Set)) string {
+		s := shard.NewSet(n, domain, nShards)
+		ops(s)
+		return s.Snapshot()
+	}
+	a := run(func(s *shard.Set) {
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for k := pid + 1; k <= domain; k += n {
+					s.Insert(pid, k)
+				}
+				for k := pid + 1; k <= domain; k += n {
+					if k%2 == 0 {
+						s.Remove(pid, k)
+					}
+				}
+			}(pid)
+		}
+		wg.Wait()
+	})
+	b := run(func(s *shard.Set) {
+		// Same final state {odd keys}, entirely different history: inserts
+		// of odd keys only, single process, plus decoy lookups.
+		for k := 1; k <= domain; k += 2 {
+			s.Insert(0, k)
+			s.Contains(1, k)
+		}
+	})
+	if a != b {
+		t.Fatalf("same abstract state, different composite memories:\n a: %s\n b: %s", a, b)
+	}
+}
+
+// TestMapConcurrentSharedKeys: concurrent increments on shared keys sum
+// correctly and the composite memory is canonical at quiescence, with and
+// without combining.
+func TestMapConcurrentSharedKeys(t *testing.T) {
+	const n, keys, perProc = 8, 16, 500
+	for _, mk := range []func() *shard.Map{
+		func() *shard.Map { return shard.NewMap(n, keys, 4) },
+		func() *shard.Map { return shard.NewCombiningMap(n, keys, 4) },
+	} {
+		m := mk()
+		t.Run(m.Name(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					g := workload.NewGen(int64(pid))
+					for i := 0; i < perProc; i++ {
+						key := g.ZipfKey(keys, 1.2)
+						m.Inc(pid, key)
+					}
+				}(pid)
+			}
+			wg.Wait()
+			counts := m.Counts()
+			total := 0
+			for _, v := range counts {
+				total += v
+			}
+			if total != n*perProc {
+				t.Fatalf("total count = %d, want %d", total, n*perProc)
+			}
+			canon := shard.CanonicalMapSnapshot(n, keys, m.NumShards(), counts)
+			if snap := m.Snapshot(); snap != canon {
+				t.Fatalf("composite memory not canonical at quiescence:\n got:  %s\n want: %s", snap, canon)
+			}
+		})
+	}
+}
+
+// TestSetThroughputScalesAcrossShards is a smoke check (not a benchmark)
+// that S>1 actually distributes keys: with 16 shards and 64 keys, no shard
+// may hold more than half the keys.
+func TestSetRoutingBalance(t *testing.T) {
+	const domain, nShards = 64, 16
+	perShard := make([]int, nShards)
+	for k := 1; k <= domain; k++ {
+		perShard[shard.ShardOf(k, nShards)]++
+	}
+	for sh, c := range perShard {
+		if c > domain/2 {
+			t.Errorf("shard %d holds %d of %d keys — router is degenerate", sh, c, domain)
+		}
+	}
+}
+
+// TestSetLargeDomain: the sharded set must support domains far beyond one
+// 64-bit word, including the degenerate single-shard configuration, and
+// stay canonical at quiescence.
+func TestSetLargeDomain(t *testing.T) {
+	const domain = 1000
+	for _, nShards := range []int{1, 16} {
+		s := shard.NewSet(2, domain, nShards)
+		var want []int
+		for k := 3; k <= domain; k += 97 {
+			s.Insert(0, k)
+			want = append(want, k)
+		}
+		if got := s.Elements(); !equalInts(got, want) {
+			t.Fatalf("S=%d: Elements() = %v, want %v", nShards, got, want)
+		}
+		if !s.Contains(1, 3) || s.Contains(1, 4) {
+			t.Fatalf("S=%d: membership wrong", nShards)
+		}
+		canon := shard.CanonicalSetSnapshot(2, domain, nShards, want)
+		if snap := s.Snapshot(); snap != canon {
+			t.Fatalf("S=%d: large-domain memory not canonical:\n got:  %s\n want: %s", nShards, snap, canon)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func ExampleSet() {
+	s := shard.NewSet(2, 100, 4)
+	s.Insert(0, 42)
+	s.Insert(1, 7)
+	s.Remove(0, 7)
+	fmt.Println(s.Elements())
+	// Output: [42]
+}

@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/llsc"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+	"hiconc/internal/universal"
+)
+
+// NewSimSetHarness builds a lock-step-simulator harness for a sharded set
+// over {1..domain}: nShards independent Algorithm 5 instances (each over
+// the full-domain set specification, holding only the keys that hash to it)
+// in one shared memory, with every operation routed by ShardOf. The harness
+// plugs into internal/hicheck, which verifies that the composite memory
+// representation is canonical at every admitted configuration — the
+// machine-checked form of the argument that sharding preserves
+// state-quiescent history independence.
+func NewSimSetHarness(domain, nShards, n int, f llsc.Factory, variant universal.Variant) *harness.Harness {
+	sp := spec.NewSet(domain)
+	allOps := sp.Ops(sp.Init())
+	procOps := make([][]core.Op, n)
+	for i := range procOps {
+		procOps[i] = allOps
+	}
+	return &harness.Harness{
+		Name:    fmt.Sprintf("sharded-%v[%s,%s,S=%d,n=%d]", variant, sp.Name(), f.Name(), nShards, n),
+		Spec:    sp,
+		ProcOps: procOps,
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem := sim.NewMemory()
+			shards := make([]*universal.Universal, nShards)
+			for sh := range shards {
+				shards[sh] = universal.NewNamed(sp, n, f, variant, mem, fmt.Sprintf("s%d.", sh))
+			}
+			progs := make([]sim.Program, n)
+			for pid := 0; pid < n; pid++ {
+				pid, src := pid, srcs[pid]
+				progs[pid] = func(p *sim.Proc) {
+					// One helping-priority counter per shard, as each shard
+					// is an independent instance of the construction.
+					prios := make([]int, nShards)
+					for i := range prios {
+						prios[i] = pid
+					}
+					for op, ok := src.Next(p); ok; op, ok = src.Next(p) {
+						sh := ShardOf(op.Arg, nShards)
+						shards[sh].RunOp(p, op, &prios[sh])
+					}
+				}
+			}
+			return sim.NewRunner(mem, progs)
+		},
+	}
+}

@@ -1,0 +1,76 @@
+package shard_test
+
+import (
+	"errors"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hicheck"
+	"hiconc/internal/llsc"
+	"hiconc/internal/shard"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+	"hiconc/internal/universal"
+)
+
+func insOp(v int) core.Op  { return core.Op{Name: spec.OpInsert, Arg: v} }
+func remOp(v int) core.Op  { return core.Op{Name: spec.OpRemove, Arg: v} }
+func lookOp(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+
+// TestSimShardedSetSequentialCanon builds the canonical map of the sharded
+// set under the lock-step simulator: every sequential execution reaching
+// the same abstract set must leave the same composite memory. This is the
+// sequential half of the SQHI regression for shard.Set.
+func TestSimShardedSetSequentialCanon(t *testing.T) {
+	h := shard.NewSimSetHarness(2, 2, 2, llsc.CASFactory{}, universal.Full)
+	c, err := hicheck.BuildCanon(h, 3, 4000)
+	if err != nil {
+		t.Fatalf("%s: %v", h.Name, err)
+	}
+	if len(c.ByState) != 4 {
+		t.Errorf("canonical map covers %d states, want 4 (subsets of {1,2})", len(c.ByState))
+	}
+}
+
+// TestSimShardedSetStateQuiescentHI is the concurrent SQHI regression: at
+// every state-quiescent configuration of every explored interleaving, the
+// composite memory of the sharded set must be the canonical representation
+// of a linearization-consistent abstract state.
+func TestSimShardedSetStateQuiescentHI(t *testing.T) {
+	h := shard.NewSimSetHarness(2, 2, 2, llsc.CASFactory{}, universal.Full)
+	c, err := hicheck.BuildCanon(h, 3, 4000)
+	if err != nil {
+		t.Fatalf("%s: %v", h.Name, err)
+	}
+	scripts := [][][]core.Op{
+		{{insOp(1)}, {insOp(2)}}, // distinct shards in parallel
+		{{insOp(1)}, {insOp(1)}}, // same shard, same key
+		{{insOp(1)}, {remOp(1)}}, // same shard, conflicting
+		{{insOp(2), remOp(2)}, {insOp(1)}},
+		{{insOp(1), lookOp(2)}, {insOp(2)}},
+	}
+	// Bounded-depth exhaustive pass over every interleaving prefix.
+	maxSteps := 12
+	if !testing.Short() {
+		maxSteps = 14
+	}
+	if _, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, maxSteps, 400000, true); err != nil && !errors.Is(err, sim.ErrBudget) {
+		t.Fatalf("%s: %v", h.Name, err)
+	}
+	// Deep randomized pass over full executions.
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, 200, 41, 3000, true); err != nil {
+		t.Fatalf("%s: %v", h.Name, err)
+	}
+}
+
+// TestSimShardedSetAblationFails: the sharded composition of the
+// no-announce-clear mutant must fail sequential HI exactly as the single
+// instance does — sharding cannot mask a leaky shard.
+func TestSimShardedSetAblationFails(t *testing.T) {
+	h := shard.NewSimSetHarness(2, 2, 2, llsc.CASFactory{}, universal.NoAnnounceClear)
+	_, err := hicheck.BuildCanon(h, 2, 4000)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("BuildCanon err = %v, want a sequential HI violation", err)
+	}
+}

@@ -133,11 +133,18 @@ type Universal struct {
 
 // New creates a fresh instance over mem.
 func New(s core.Spec, n int, f llsc.Factory, variant Variant, mem *sim.Memory) *Universal {
+	return NewNamed(s, n, f, variant, mem, "")
+}
+
+// NewNamed creates a fresh instance over mem whose base-object names carry
+// the given prefix, so several instances (e.g. the shards of a partitioned
+// object) can coexist in one memory with distinguishable representations.
+func NewNamed(s core.Spec, n int, f llsc.Factory, variant Variant, mem *sim.Memory, prefix string) *Universal {
 	u := &Universal{spec: s, n: n, variant: variant}
-	u.head = f.New(mem, "head", headVal{State: s.Init()})
+	u.head = f.New(mem, prefix+"head", headVal{State: s.Init()})
 	u.ann = make([]llsc.Var, n)
 	for i := 0; i < n; i++ {
-		u.ann[i] = f.New(mem, fmt.Sprintf("ann%d", i), annVal{Kind: annBot})
+		u.ann[i] = f.New(mem, fmt.Sprintf("%sann%d", prefix, i), annVal{Kind: annBot})
 	}
 	return u
 }
@@ -150,12 +157,20 @@ func (u *Universal) Program(pid int, src harness.OpSource) sim.Program {
 	return func(p *sim.Proc) {
 		priority := pid
 		for op, ok := src.Next(p); ok; op, ok = src.Next(p) {
-			if u.spec.ReadOnly(op) {
-				u.applyReadOnly(p, op)
-			} else {
-				u.apply(p, op, &priority)
-			}
+			u.RunOp(p, op, &priority)
 		}
+	}
+}
+
+// RunOp executes one operation through the construction on behalf of p,
+// using and advancing the caller-owned helping priority counter. It lets a
+// routing layer (e.g. a sharded object) dispatch individual operations to
+// one of several instances.
+func (u *Universal) RunOp(p *sim.Proc, op core.Op, priority *int) {
+	if u.spec.ReadOnly(op) {
+		u.applyReadOnly(p, op)
+	} else {
+		u.apply(p, op, priority)
 	}
 }
 

@@ -13,6 +13,11 @@ import (
 // Gen is a deterministic workload generator.
 type Gen struct {
 	rng *rand.Rand
+	// zipf caches the last ZipfKey generator so per-key callers do not pay
+	// the Zipf initialization on every draw.
+	zipf     *rand.Zipf
+	zipfKeys int
+	zipfS    float64
 }
 
 // NewGen returns a generator seeded with seed.
@@ -64,13 +69,12 @@ func (g *Gen) RegisterWrites(n, k int) []core.Op {
 }
 
 // SetZipf returns n set operations over elements 1..domain drawn from a
-// Zipf distribution with exponent s >= 1; lookupFrac of the operations are
+// Zipf distribution with exponent s > 1; lookupFrac of the operations are
 // lookups, the rest split evenly between inserts and removes.
 func (g *Gen) SetZipf(n, domain int, s, lookupFrac float64) []core.Op {
-	z := rand.NewZipf(g.rng, s, 1, uint64(domain-1))
 	ops := make([]core.Op, n)
 	for i := range ops {
-		v := int(z.Uint64()) + 1
+		v := g.ZipfKey(domain, s)
 		switch {
 		case g.rng.Float64() < lookupFrac:
 			ops[i] = core.Op{Name: spec.OpLookup, Arg: v}
@@ -78,6 +82,39 @@ func (g *Gen) SetZipf(n, domain int, s, lookupFrac float64) []core.Op {
 			ops[i] = core.Op{Name: spec.OpInsert, Arg: v}
 		default:
 			ops[i] = core.Op{Name: spec.OpRemove, Arg: v}
+		}
+	}
+	return ops
+}
+
+// ZipfKey draws one key from {1..keys} under a Zipf distribution with
+// exponent s > 1 (small keys are hot). The generator is cached across calls
+// with the same (keys, s).
+func (g *Gen) ZipfKey(keys int, s float64) int {
+	if g.zipf == nil || g.zipfKeys != keys || g.zipfS != s {
+		g.zipf = rand.NewZipf(g.rng, s, 1, uint64(keys-1))
+		g.zipfKeys, g.zipfS = keys, s
+	}
+	return int(g.zipf.Uint64()) + 1
+}
+
+// MapZipf returns n multi-counter operations over keys {1..keys} drawn from
+// a Zipf distribution with exponent s > 1: readFrac of reads, the rest
+// split evenly between per-key increments and decrements. It is the
+// skewed-contention workload of the E20 shard-scaling experiments — with
+// s close to 1 the keys spread across shards; raising s concentrates the
+// load on the shard owning the hottest key.
+func (g *Gen) MapZipf(n, keys int, s, readFrac float64) []core.Op {
+	ops := make([]core.Op, n)
+	for i := range ops {
+		k := g.ZipfKey(keys, s)
+		switch {
+		case g.rng.Float64() < readFrac:
+			ops[i] = core.Op{Name: spec.OpRead, Arg: k}
+		case g.rng.Intn(2) == 0:
+			ops[i] = core.Op{Name: spec.OpInc, Arg: k}
+		default:
+			ops[i] = core.Op{Name: spec.OpDec, Arg: k}
 		}
 	}
 	return ops

@@ -86,6 +86,70 @@ func TestSetZipfDomain(t *testing.T) {
 	}
 }
 
+func TestMapZipfDeterminism(t *testing.T) {
+	a := workload.NewGen(11).MapZipf(200, 32, 1.3, 0.2)
+	b := workload.NewGen(11).MapZipf(200, 32, 1.3, 0.2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different MapZipf workloads")
+	}
+	c := workload.NewGen(12).MapZipf(200, 32, 1.3, 0.2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical MapZipf workloads")
+	}
+}
+
+func TestMapZipfComposition(t *testing.T) {
+	const n, keys, readFrac = 20000, 32, 0.3
+	ops := workload.NewGen(5).MapZipf(n, keys, 1.2, readFrac)
+	reads, incs, decs := 0, 0, 0
+	hits := make([]int, keys+1)
+	for _, op := range ops {
+		if op.Arg < 1 || op.Arg > keys {
+			t.Fatalf("key %d out of range 1..%d", op.Arg, keys)
+		}
+		hits[op.Arg]++
+		switch op.Name {
+		case spec.OpRead:
+			reads++
+		case spec.OpInc:
+			incs++
+		case spec.OpDec:
+			decs++
+		default:
+			t.Fatalf("unexpected op %v", op)
+		}
+	}
+	if frac := float64(reads) / float64(n); frac < readFrac-0.05 || frac > readFrac+0.05 {
+		t.Errorf("read fraction = %.3f, want ~%.1f", frac, readFrac)
+	}
+	if ratio := float64(incs) / float64(decs); ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("inc/dec ratio = %.3f, want ~1", ratio)
+	}
+	// Zipf skew: key 1 must be the hottest, and strictly hotter than the
+	// median key.
+	for k := 2; k <= keys; k++ {
+		if hits[k] > hits[1] {
+			t.Fatalf("key %d (%d hits) hotter than key 1 (%d hits)", k, hits[k], hits[1])
+		}
+	}
+	if hits[1] <= hits[keys/2] {
+		t.Errorf("no skew: key 1 has %d hits, key %d has %d", hits[1], keys/2, hits[keys/2])
+	}
+}
+
+func TestZipfKeyRangeAndDeterminism(t *testing.T) {
+	a, b := workload.NewGen(9), workload.NewGen(9)
+	for i := 0; i < 500; i++ {
+		ka, kb := a.ZipfKey(16, 1.5), b.ZipfKey(16, 1.5)
+		if ka != kb {
+			t.Fatal("same seed produced different ZipfKey streams")
+		}
+		if ka < 1 || ka > 16 {
+			t.Fatalf("ZipfKey = %d out of range 1..16", ka)
+		}
+	}
+}
+
 func TestSplit(t *testing.T) {
 	ops := workload.NewGen(3).CounterMix(10, 0)
 	parts := workload.Split(ops, 3)
