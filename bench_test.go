@@ -16,6 +16,7 @@ import (
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
 	"hiconc/internal/hicheck"
+	"hiconc/internal/hihash"
 	"hiconc/internal/linearize"
 	"hiconc/internal/llsc"
 	"hiconc/internal/registers"
@@ -298,6 +299,61 @@ func BenchmarkE20Combining(b *testing.B) {
 			benchPerKey(b, shard.NewCombiningMap(n, keys, s), n, mapMix)
 		})
 	}
+}
+
+// --- E21: the HICHT direct hash table vs the universal-construction path ---
+
+// BenchmarkE21HashTable measures the direct lock-free HICHT table
+// (internal/hihash) against the sharded universal construction and a
+// sync.Map baseline on insert/remove/lookup mixes at 8 goroutines, across
+// load factors (table capacity relative to the domain) and Zipf skews.
+// The hihash table has no per-object or per-shard serialization point —
+// lookups are one atomic load and updates one CAS — so it should beat the
+// sharded universal construction by a wide margin on every mix. Caveat
+// for the load=1.0 column: at capacity == domain a fraction of inserts is
+// rejected with RspFull, which is cheaper than a real insert; cmd/hibench
+// -exp E21 prints the rejection rates (see EXPERIMENTS.md).
+func BenchmarkE21HashTable(b *testing.B) {
+	const n, domain = 8, 16384
+	for _, s := range []float64{1.01, 1.5} {
+		mix := func(pid int) []core.Op {
+			return workload.NewGen(int64(pid)).SetZipf(8192, domain, s, 0.1)
+		}
+		b.Run(fmt.Sprintf("zipf=%.2f/hihash/load=0.5", s), func(b *testing.B) {
+			benchPerKey(b, hihash.NewSet(domain, domain/2), n, mix)
+		})
+		b.Run(fmt.Sprintf("zipf=%.2f/hihash/load=1.0", s), func(b *testing.B) {
+			benchPerKey(b, hihash.NewSet(domain, domain/4), n, mix)
+		})
+		b.Run(fmt.Sprintf("zipf=%.2f/sharded-universal/S=16", s), func(b *testing.B) {
+			benchPerKey(b, shard.NewSet(n, domain, 16), n, mix)
+		})
+		b.Run(fmt.Sprintf("zipf=%.2f/sharded-hihash/S=16", s), func(b *testing.B) {
+			benchPerKey(b, shard.NewHashSet(n, domain, 16), n, mix)
+		})
+		b.Run(fmt.Sprintf("zipf=%.2f/syncmap", s), func(b *testing.B) {
+			benchPerKey(b, conc.NewSyncMapSet(), n, mix)
+		})
+	}
+}
+
+// BenchmarkE21HashMap is the multi-counter side of E21: the pointer-
+// bucket hihash map against the sharded universal-construction map under
+// Zipf-skewed per-key increments.
+func BenchmarkE21HashMap(b *testing.B) {
+	const n, keys = 8, 256
+	mix := func(pid int) []core.Op {
+		return workload.NewGen(int64(pid)).MapZipf(8192, keys, 1.2, 0.1)
+	}
+	b.Run("hihash-map", func(b *testing.B) {
+		benchPerKey(b, hihash.NewMap(keys, keys/4), n, mix)
+	})
+	b.Run("sharded-universal/S=16", func(b *testing.B) {
+		benchPerKey(b, shard.NewMap(n, keys, 16), n, mix)
+	})
+	b.Run("sharded-universal-combining/S=16", func(b *testing.B) {
+		benchPerKey(b, shard.NewCombiningMap(n, keys, 16), n, mix)
+	})
 }
 
 // --- R-LLSC cell primitives (Algorithm 6's native port) ---

@@ -12,19 +12,28 @@
 //	E20 — scale-out: sharded set/map throughput vs shard count against the
 //	      single-Universal baseline, and the operation-combining ablation
 //	      under total contention.
+//	E21 — the HICHT direct hash table (internal/hihash) against the
+//	      sharded universal construction and a sync.Map baseline, across
+//	      load factors and Zipf skews.
 //
 // Absolute numbers depend on the machine; the paper makes no quantitative
 // claims, so the interesting output is the relative shape (see
 // EXPERIMENTS.md).
 //
+// With -json, each experiment family additionally writes a machine-
+// readable BENCH_<exp>.json file so the performance trajectory can be
+// tracked across commits.
+//
 // Usage:
 //
-//	hibench [-exp E10,E11,E12,E20|all] [-ops N] [-procs list]
+//	hibench [-exp E10,E11,E12,E20,E21|all] [-ops N] [-procs list] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -32,18 +41,96 @@ import (
 
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
+	"hiconc/internal/hihash"
 	"hiconc/internal/shard"
+	"hiconc/internal/spec"
 	"hiconc/internal/workload"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20 or 'all'")
+	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20, E21 or 'all'")
 	opsFlag   = flag.Int("ops", 200000, "operations per measurement")
 	procsFlag = flag.String("procs", "1,2,4,8", "goroutine counts for E11")
+	jsonFlag  = flag.Bool("json", false, "write one BENCH_<exp>.json per experiment family")
 )
+
+// jsonResult is one measurement row of a family's BENCH_<exp>.json.
+type jsonResult struct {
+	// Case identifies the measurement (impl and parameters).
+	Case string `json:"case"`
+	// Metric names the unit, e.g. "ns/op" or "reads/sec".
+	Metric string `json:"metric"`
+	// Value is the measurement.
+	Value float64 `json:"value"`
+}
+
+// results accumulates rows per experiment family for -json output.
+var results = map[string][]jsonResult{}
+
+// record stores one measurement row for -json output.
+func record(exp, kase, metric string, value float64) {
+	results[exp] = append(results[exp], jsonResult{Case: kase, Metric: metric, Value: value})
+}
+
+// recordPerOp stores a ns/op row computed from a duration over n ops.
+func recordPerOp(exp, kase string, d time.Duration, n int) {
+	record(exp, kase, "ns/op", float64(d.Nanoseconds())/float64(n))
+}
+
+// writeJSON emits one BENCH_<exp>.json per recorded family.
+func writeJSON() error {
+	for exp, rows := range results {
+		doc := struct {
+			Exp     string       `json:"exp"`
+			Ops     int          `json:"ops"`
+			Results []jsonResult `json:"results"`
+		}{Exp: exp, Ops: *opsFlag, Results: rows}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("BENCH_%s.json", exp)
+		if err := os.WriteFile(name, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", name, len(rows))
+	}
+	return nil
+}
 
 func main() {
 	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hibench:", err)
+		os.Exit(1)
+	}
+}
+
+// parseProcs validates and parses the -procs list.
+func parseProcs() ([]int, error) {
+	var procs []int
+	for _, s := range strings.Split(*procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad -procs: %w", err)
+		}
+		if p < 1 {
+			return nil, fmt.Errorf("bad -procs: count %d out of range", p)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+// run executes the selected experiment families (split from main so the
+// smoke tests can drive it in-process).
+func run() error {
+	// Validate flags before any experiment runs, so a typo cannot discard
+	// already-measured families.
+	procs, err := parseProcs()
+	if err != nil {
+		return err
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.ToUpper(strings.TrimSpace(e))] = true
@@ -53,7 +140,7 @@ func main() {
 		runE10()
 	}
 	if all || want["E11"] {
-		runE11()
+		runE11(procs)
 	}
 	if all || want["E12"] {
 		runE12()
@@ -61,6 +148,13 @@ func main() {
 	if all || want["E20"] {
 		runE20()
 	}
+	if all || want["E21"] {
+		runE21()
+	}
+	if *jsonFlag {
+		return writeJSON()
+	}
+	return nil
 }
 
 func runE10() {
@@ -101,6 +195,11 @@ func runE10() {
 		})
 		fmt.Printf("%6d %12s %12s %12s %12s %12s\n", k,
 			perOp(t1, n), perOp(t2, n), perOp(t4, n), perOp(t2r, n), perOp(t4r, n))
+		recordPerOp("E10", fmt.Sprintf("alg1-write/K=%d", k), t1, n)
+		recordPerOp("E10", fmt.Sprintf("alg2-write/K=%d", k), t2, n)
+		recordPerOp("E10", fmt.Sprintf("alg4-write/K=%d", k), t4, n)
+		recordPerOp("E10", fmt.Sprintf("alg2-read/K=%d", k), t2r, n)
+		recordPerOp("E10", fmt.Sprintf("alg4-read/K=%d", k), t4r, n)
 	}
 
 	fmt.Println("\n    reader under a write storm (K=64):")
@@ -108,6 +207,8 @@ func runE10() {
 	for _, impl := range []string{"alg2", "alg4"} {
 		reads, retries := writeStorm(impl, 64, 200*time.Millisecond)
 		fmt.Printf("%12s %14.0f %14.4f\n", impl, reads, retries)
+		record("E10", impl+"-storm-reads", "reads/sec", reads)
+		record("E10", impl+"-storm-retries", "retries/read", retries)
 	}
 	fmt.Println("    (Algorithm 2's reader retries and can starve; Algorithm 4's reader")
 	fmt.Println("     is helped by the writer and never retries more than twice)")
@@ -160,17 +261,8 @@ func writeStorm(impl string, k int, d time.Duration) (readsPerSec, meanRetries f
 	return float64(reads) / d.Seconds(), float64(retries) / float64(reads)
 }
 
-func runE11() {
+func runE11(procs []int) {
 	fmt.Println("=== E11: universal construction scaling (counter, 80% updates)")
-	var procs []int
-	for _, s := range strings.Split(*procsFlag, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			fmt.Println("bad -procs:", err)
-			return
-		}
-		procs = append(procs, p)
-	}
 	fmt.Printf("%6s %14s %14s %14s %14s\n", "procs", "universal-hi", "leaky", "mutex", "cas-nohelp")
 	for _, n := range procs {
 		row := make([]string, 0, 4)
@@ -197,6 +289,7 @@ func runE11() {
 				wg.Wait()
 			})
 			row = append(row, perOp(elapsed, opsPer*n))
+			recordPerOp("E11", fmt.Sprintf("%s/procs=%d", a.Name(), n), elapsed, opsPer*n)
 		}
 		fmt.Printf("%6d %14s %14s %14s %14s\n", n, row[0], row[1], row[2], row[3])
 	}
@@ -217,9 +310,19 @@ func runE12() {
 		fmt.Printf("%10s %8.1f %14s %14s %9.2fx\n", "counter", readFrac,
 			perOp(tFull, *opsFlag), perOp(tLeaky, *opsFlag),
 			float64(tFull)/float64(tLeaky))
+		recordPerOp("E12", fmt.Sprintf("universal-hi/reads=%.1f", readFrac), tFull, *opsFlag)
+		recordPerOp("E12", fmt.Sprintf("leaky/reads=%.1f", readFrac), tLeaky, *opsFlag)
 	}
 	fmt.Println("    (overhead should be a modest constant factor — clearing adds one")
 	fmt.Println("     SC to head, one announce Store and the RL releases per operation)")
+}
+
+// measurePerKey runs one per-key measurement, records it for -json and
+// returns the formatted ns/op cell.
+func measurePerKey(exp, kase string, a conc.Applier, n int, mixes [][]core.Op) string {
+	d := runPerKey(a, n, *opsFlag/n, mixes)
+	recordPerOp(exp, kase, d, *opsFlag)
+	return perOp(d, *opsFlag)
 }
 
 func runE20() {
@@ -233,10 +336,10 @@ func runE20() {
 		return g.SetZipf(8192, setDomain, 1.01, 0.1)
 	})
 	row := []string{
-		perOp(runPerKey(conc.NewUniversal(conc.BigSetObj{Words: setDomain / 64}, n), n, *opsFlag/n, setMixes), *opsFlag),
-		perOp(runPerKey(shard.NewSet(n, setDomain, 1), n, *opsFlag/n, setMixes), *opsFlag),
-		perOp(runPerKey(shard.NewSet(n, setDomain, 4), n, *opsFlag/n, setMixes), *opsFlag),
-		perOp(runPerKey(shard.NewSet(n, setDomain, 16), n, *opsFlag/n, setMixes), *opsFlag),
+		measurePerKey("E20", "set/baseline", conc.NewUniversal(conc.BigSetObj{Words: setDomain / 64}, n), n, setMixes),
+		measurePerKey("E20", "set/S=1", shard.NewSet(n, setDomain, 1), n, setMixes),
+		measurePerKey("E20", "set/S=4", shard.NewSet(n, setDomain, 4), n, setMixes),
+		measurePerKey("E20", "set/S=16", shard.NewSet(n, setDomain, 16), n, setMixes),
 	}
 	fmt.Printf("%10s %14s %14s %14s %14s\n", "set", row[0], row[1], row[2], row[3])
 	mapKeys := 256
@@ -244,10 +347,10 @@ func runE20() {
 		return g.MapZipf(8192, mapKeys, 1.01, 0.1)
 	})
 	row = []string{
-		perOp(runPerKey(conc.NewUniversal(conc.MultiCounterObj{}, n), n, *opsFlag/n, mapMixes), *opsFlag),
-		perOp(runPerKey(shard.NewMap(n, mapKeys, 1), n, *opsFlag/n, mapMixes), *opsFlag),
-		perOp(runPerKey(shard.NewMap(n, mapKeys, 4), n, *opsFlag/n, mapMixes), *opsFlag),
-		perOp(runPerKey(shard.NewMap(n, mapKeys, 16), n, *opsFlag/n, mapMixes), *opsFlag),
+		measurePerKey("E20", "map/baseline", conc.NewUniversal(conc.MultiCounterObj{}, n), n, mapMixes),
+		measurePerKey("E20", "map/S=1", shard.NewMap(n, mapKeys, 1), n, mapMixes),
+		measurePerKey("E20", "map/S=4", shard.NewMap(n, mapKeys, 4), n, mapMixes),
+		measurePerKey("E20", "map/S=16", shard.NewMap(n, mapKeys, 16), n, mapMixes),
 	}
 	fmt.Printf("%10s %14s %14s %14s %14s\n", "map", row[0], row[1], row[2], row[3])
 	fmt.Println("    (each update copies an immutable state 1/S the size, and on")
@@ -257,14 +360,93 @@ func runE20() {
 	fmt.Printf("%10s %14s %14s\n", "object", "plain", "combining")
 	ctrMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op { return g.CounterMix(8192, 0.0) })
 	fmt.Printf("%10s %14s %14s\n", "counter",
-		perOp(runPerKey(conc.NewUniversal(conc.CounterObj{}, n), n, *opsFlag/n, ctrMixes), *opsFlag),
-		perOp(runPerKey(conc.NewCombiningUniversal(conc.CounterObj{}, n), n, *opsFlag/n, ctrMixes), *opsFlag))
+		measurePerKey("E20", "counter/plain", conc.NewUniversal(conc.CounterObj{}, n), n, ctrMixes),
+		measurePerKey("E20", "counter/combining", conc.NewCombiningUniversal(conc.CounterObj{}, n), n, ctrMixes))
 	hotMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op { return g.MapZipf(8192, mapKeys, 1.5, 0.0) })
 	fmt.Printf("%10s %14s %14s\n", "map/S=4",
-		perOp(runPerKey(shard.NewMap(n, mapKeys, 4), n, *opsFlag/n, hotMixes), *opsFlag),
-		perOp(runPerKey(shard.NewCombiningMap(n, mapKeys, 4), n, *opsFlag/n, hotMixes), *opsFlag))
+		measurePerKey("E20", "map-hot/S=4/plain", shard.NewMap(n, mapKeys, 4), n, hotMixes),
+		measurePerKey("E20", "map-hot/S=4/combining", shard.NewCombiningMap(n, mapKeys, 4), n, hotMixes))
 	fmt.Println("    (a process whose SC fails folds all announced commuting ops into")
 	fmt.Println("     one batched SC — contention converts into useful batching)")
+}
+
+// insertRejectRate replays the mixes once, sequentially, on a fresh
+// instance and returns the fraction of inserts answered with
+// hihash.RspFull. Rejected inserts are cheaper than real ones (one load,
+// no CAS), so the rate qualifies the bounded tables' ns/op numbers; the
+// replay keeps the counting off the timed path.
+func insertRejectRate(a conc.Applier, mixes [][]core.Op) float64 {
+	inserts, fulls := 0, 0
+	for pid, ops := range mixes {
+		for _, op := range ops {
+			rsp := a.Apply(pid, op)
+			if op.Name == spec.OpInsert {
+				inserts++
+				if rsp == hihash.RspFull {
+					fulls++
+				}
+			}
+		}
+	}
+	if inserts == 0 {
+		return 0
+	}
+	return float64(fulls) / float64(inserts)
+}
+
+func runE21() {
+	fmt.Println("=== E21: the HICHT direct hash table vs the universal-construction path")
+	const n, domain, mapKeys = 8, 16384, 256
+
+	fmt.Println("\n    set, 10% lookups, 8 goroutines (ns/op):")
+	fmt.Printf("%10s %16s %16s %18s %16s %12s\n",
+		"zipf", "hihash load=0.5", "hihash load=1.0", "sharded-universal", "sharded-hihash", "sync.Map")
+	type rejectRow struct {
+		zipf               float64
+		half, full, shards float64
+	}
+	var rejects []rejectRow
+	for _, s := range []float64{1.01, 1.5} {
+		mixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+			return g.SetZipf(8192, domain, s, 0.1)
+		})
+		tag := fmt.Sprintf("set/zipf=%.2f", s)
+		fmt.Printf("%10.2f %16s %16s %18s %16s %12s\n", s,
+			measurePerKey("E21", tag+"/hihash/load=0.5", hihash.NewSet(domain, domain/2), n, mixes),
+			measurePerKey("E21", tag+"/hihash/load=1.0", hihash.NewSet(domain, domain/4), n, mixes),
+			measurePerKey("E21", tag+"/sharded-universal/S=16", shard.NewSet(n, domain, 16), n, mixes),
+			measurePerKey("E21", tag+"/sharded-hihash/S=16", shard.NewHashSet(n, domain, 16), n, mixes),
+			measurePerKey("E21", tag+"/syncmap", conc.NewSyncMapSet(), n, mixes))
+		row := rejectRow{
+			zipf:   s,
+			half:   insertRejectRate(hihash.NewSet(domain, domain/2), mixes),
+			full:   insertRejectRate(hihash.NewSet(domain, domain/4), mixes),
+			shards: insertRejectRate(shard.NewHashSet(n, domain, 16), mixes),
+		}
+		rejects = append(rejects, row)
+		record("E21", tag+"/hihash/load=0.5/reject", "reject-rate", row.half)
+		record("E21", tag+"/hihash/load=1.0/reject", "reject-rate", row.full)
+		record("E21", tag+"/sharded-hihash/S=16/reject", "reject-rate", row.shards)
+	}
+	fmt.Println("\n    insert rejection rate of the bounded tables (RspFull; a rejected")
+	fmt.Println("    insert is one load, cheaper than a real insert — qualify ns/op with it):")
+	for _, r := range rejects {
+		fmt.Printf("      zipf=%.2f: load=0.5 %.2f%%, load=1.0 %.2f%%, sharded-hihash %.2f%%\n",
+			r.zipf, 100*r.half, 100*r.full, 100*r.shards)
+	}
+
+	fmt.Println("\n    multi-counter map, 10% reads, Zipf s=1.2 (ns/op):")
+	fmt.Printf("%16s %18s %22s\n", "hihash-map", "sharded-universal", "sharded-combining")
+	mapMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+		return g.MapZipf(8192, mapKeys, 1.2, 0.1)
+	})
+	fmt.Printf("%16s %18s %22s\n",
+		measurePerKey("E21", "map/hihash", hihash.NewMap(mapKeys, mapKeys/4), n, mapMixes),
+		measurePerKey("E21", "map/sharded-universal/S=16", shard.NewMap(n, mapKeys, 16), n, mapMixes),
+		measurePerKey("E21", "map/sharded-combining/S=16", shard.NewCombiningMap(n, mapKeys, 16), n, mapMixes))
+	fmt.Println("    (the direct table has no serialization point at all: lookups are one")
+	fmt.Println("     atomic load, updates one CAS on the key's bucket group — every")
+	fmt.Println("     relocation the canonical layout needs is folded into that CAS)")
 }
 
 // perKeyMixes builds one seeded per-key mix per goroutine.

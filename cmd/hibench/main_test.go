@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed, keeping test logs readable.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", ferr, out)
+	}
+	return string(out)
+}
+
+// TestSmoke runs two benchmark families with tiny parameters and -json,
+// and checks that the machine-readable results are written and parse.
+func TestSmoke(t *testing.T) {
+	t.Chdir(t.TempDir())
+	*expFlag = "E10,E21"
+	*opsFlag = 2000
+	*jsonFlag = true
+	out := captureStdout(t, run)
+	for _, want := range []string{"E10", "E21", "ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{"BENCH_E10.json", "BENCH_E21.json"} {
+		buf, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		var doc struct {
+			Exp     string `json:"exp"`
+			Results []struct {
+				Case   string  `json:"case"`
+				Metric string  `json:"metric"`
+				Value  float64 `json:"value"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			t.Fatalf("%s does not parse: %v", name, err)
+		}
+		if len(doc.Results) == 0 {
+			t.Errorf("%s has no result rows", name)
+		}
+		for _, r := range doc.Results {
+			// Latency and throughput rows must be positive; counters like
+			// retries/read may legitimately be zero.
+			if r.Case == "" || r.Metric == "" || r.Value < 0 || (r.Metric == "ns/op" && r.Value == 0) {
+				t.Errorf("%s has a malformed row: %+v", name, r)
+			}
+		}
+	}
+}

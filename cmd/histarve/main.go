@@ -30,6 +30,14 @@ var (
 
 func main() {
 	flag.Parse()
+	if !runSelected() {
+		os.Exit(1)
+	}
+}
+
+// runSelected runs the experiments named by -exp and reports overall
+// success (split from main so the smoke tests can drive it in-process).
+func runSelected() bool {
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.ToUpper(strings.TrimSpace(e))] = true
@@ -42,9 +50,7 @@ func main() {
 	if all || want["E5"] {
 		ok = runE5() && ok
 	}
-	if !ok {
-		os.Exit(1)
-	}
+	return ok
 }
 
 func runE4() bool {

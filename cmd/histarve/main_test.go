@@ -1,0 +1,31 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the Theorem 17 adversary with a small round budget and
+// requires the expected outcome (Algorithm 2 starved, Algorithm 4 not).
+func TestSmoke(t *testing.T) {
+	*expFlag = "E4"
+	*roundsFlag = 200
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ok := runSelected()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if !ok {
+		t.Fatalf("histarve -exp E4 failed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "conclusion") {
+		t.Errorf("output missing the E4 conclusion:\n%s", out)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSmoke renders both trace figures in-process and checks that the
+// annotated configurations appear.
+func TestSmoke(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runE3()
+	runE6()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	for _, want := range []string{"E3", "E6"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,8 +1,9 @@
 // Command hiverify runs the verification suite that reproduces the paper's
 // claims as executable checks: the Table 1 possibility/impossibility matrix
 // for SWSR registers, the Section 5.1 positive results (max register, set),
-// the universal construction of Section 6 with its ablations, and the
-// Algorithm 6 R-LLSC properties.
+// the universal construction of Section 6 with its ablations, the
+// Algorithm 6 R-LLSC properties, and the HICHT hash table of
+// internal/hihash.
 //
 // Usage:
 //
@@ -22,6 +23,7 @@ import (
 	"hiconc/internal/core"
 	"hiconc/internal/harness"
 	"hiconc/internal/hicheck"
+	"hiconc/internal/hihash"
 	"hiconc/internal/llsc"
 	"hiconc/internal/registers"
 	"hiconc/internal/sim"
@@ -30,12 +32,20 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14) or 'all'")
+	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21) or 'all'")
 	deepFlag = flag.Bool("deep", false, "use deeper exploration bounds (slower)")
 )
 
 func main() {
 	flag.Parse()
+	if !runSelected() {
+		os.Exit(1)
+	}
+}
+
+// runSelected runs the experiments named by -exp and reports overall
+// success (split from main so the smoke tests can drive it in-process).
+func runSelected() bool {
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.ToUpper(strings.TrimSpace(e))] = true
@@ -62,10 +72,9 @@ func main() {
 	run("E13", "Proposition 19: the reader must write", runE13)
 	run("E14", "Section 5.1: max register and set positive results", runE14)
 	run("E15", "Baseline: the Fatourou-Kallimanis-style universal construction is not HI", runE15)
+	run("E21", "HICHT hash table: perfect HI and linearizable; append ablation refuted", runE21)
 
-	if failed {
-		os.Exit(1)
-	}
+	return !failed
 }
 
 func depth(short, deep int) int {
@@ -303,6 +312,46 @@ func runE15() error {
 	fmt.Printf("    REFUTED(expected): %v\n", v)
 	fmt.Println("    PASS: storing responses in head reveals completed operations,")
 	fmt.Println("    which is precisely what Algorithm 5's clearing stages erase")
+	return nil
+}
+
+func runE21() error {
+	// The direct hash table: every update is one CAS on a bucket group
+	// whose slots sit in canonical priority order, so the simulated twin
+	// must satisfy the strongest class — perfect HI — plus
+	// linearizability, over every explored interleaving.
+	p := hihash.Params{T: 3, G: 2, B: 1}
+	h := hihash.NewSimHarness(p, 2, hihash.VariantCanonical)
+	c, err := hicheck.BuildCanon(h, 3, 2000)
+	if err != nil {
+		return err
+	}
+	ins := func(v int) core.Op { return core.Op{Name: spec.OpInsert, Arg: v} }
+	rem := func(v int) core.Op { return core.Op{Name: spec.OpRemove, Arg: v} }
+	look := func(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+	scripts := [][][]core.Op{
+		{{ins(1)}, {ins(2)}},
+		{{ins(1), rem(1)}, {ins(2)}},
+		{{ins(1), look(2)}, {ins(3)}},
+	}
+	n, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.Perfect, depth(14, 16), 1_000_000, true)
+	if err != nil {
+		return fmt.Errorf("%s: %w", h.Name, err)
+	}
+	fmt.Printf("    %-44s PASS (%d interleavings exhaustively)\n", h.Name, n)
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.Perfect, depth(200, 1000), 23, 3000, true); err != nil {
+		return fmt.Errorf("%s fuzz: %w", h.Name, err)
+	}
+	fmt.Printf("    %-44s PASS (random-schedule fuzz)\n", h.Name)
+
+	// The append-order ablation must be refuted already sequentially.
+	ha := hihash.NewSimHarness(hihash.Params{T: 3, G: 2, B: 2}, 2, hihash.VariantAppend)
+	_, err = hicheck.BuildCanon(ha, 2, 2000)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		return fmt.Errorf("append ablation: expected a sequential HI violation, got %v", err)
+	}
+	fmt.Printf("    append-order ablation REFUTED(expected): %v\n", v)
 	return nil
 }
 

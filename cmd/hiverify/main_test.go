@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the two cheapest verification experiments in-process and
+// requires overall success: E1 (the Algorithm 1 refutation) and E21 (the
+// HICHT hash table checks).
+func TestSmoke(t *testing.T) {
+	*expFlag = "E1,E21"
+	*deepFlag = false
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ok := runSelected()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if !ok {
+		t.Fatalf("hiverify -exp E1,E21 failed:\n%s", out)
+	}
+	for _, want := range []string{"REFUTED(expected)", "PASS"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -46,9 +46,15 @@
 //   - internal/shard — hash-partitioned scale-out objects composing many
 //     universal-construction instances into one history-independent set or
 //     multi-counter, plus the simulator harness that machine-checks the
-//     composition;
+//     composition, and the hihash-backed direct-table variant (HashSet);
+//   - internal/hihash — the HICHT subsystem: a lock-free hash table whose
+//     fixed-capacity bucket groups are single CAS words holding keys in
+//     canonical priority order, giving perfect HI with no serialization
+//     point; shipped as a machine-checked simulated twin and a native
+//     sync/atomic port (Set, Map);
 //   - internal/obj — the user-facing objects (Counter, Register,
-//     MaxRegister, Queue, Stack, Set, ShardedSet, ShardedMap);
+//     MaxRegister, Queue, Stack, Set, ShardedSet, ShardedMap, HashSet,
+//     HashMap);
 //   - internal/workload — seeded operation-mix generators (uniform and
 //     Zipf-skewed per-key mixes) for benchmarks and drivers;
 //   - internal/trace — paper-figure-style execution rendering;

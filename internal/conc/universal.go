@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"hiconc/internal/core"
+	"hiconc/internal/spec"
 )
 
 // Applier is the common interface of the native universal construction and
@@ -431,6 +432,40 @@ func (m *MutexObject) Apply(_ int, op core.Op) int {
 	var rsp int
 	m.state, rsp = m.obj.Apply(m.state, op)
 	return rsp
+}
+
+// SyncMapSet adapts sync.Map to the set Applier interface as the
+// standard-library baseline for the E21 hash-table benchmarks. It is
+// linearizable and lock-free in the common case but not history
+// independent: sync.Map's internal read/dirty structure depends on the
+// operation history, not only on the key set.
+type SyncMapSet struct{ m sync.Map }
+
+var _ Applier = (*SyncMapSet)(nil)
+
+// NewSyncMapSet returns a fresh baseline instance.
+func NewSyncMapSet() *SyncMapSet { return &SyncMapSet{} }
+
+// Name implements Applier.
+func (s *SyncMapSet) Name() string { return "sync.Map" }
+
+// Apply implements Applier.
+func (s *SyncMapSet) Apply(_ int, op core.Op) int {
+	switch op.Name {
+	case spec.OpInsert:
+		s.m.Store(op.Arg, struct{}{})
+		return 0
+	case spec.OpRemove:
+		s.m.Delete(op.Arg)
+		return 0
+	case spec.OpLookup:
+		if _, ok := s.m.Load(op.Arg); ok {
+			return 1
+		}
+		return 0
+	default:
+		panic("conc: sync.Map set: unknown op " + op.Name)
+	}
 }
 
 // NoHelpUniversal is the Herlihy-style lock-free baseline: a bare CAS loop

@@ -1,0 +1,165 @@
+// Package hihash implements the HICHT subsystem: a lock-free,
+// history-independent concurrent hash table with open addressing, in the
+// spirit of "History-Independent Concurrent Hash Tables" (Attiya, Bender,
+// Farach-Colton, Oshman, Schiller; arXiv:2503.21016), carried out in the
+// SQHI framework of the source PODC 2024 paper.
+//
+// The table is a fixed-capacity array of G bucket groups of B slots each;
+// a key k probes exactly one group, GroupOf(k, G). The design invariant is
+// a canonical layout: within its group a key occupies the slot determined
+// solely by priority order (ascending key order, empties packed high), so
+// the memory representation is a pure function of the current key set —
+// never of the insertion or deletion order. Deletion is tombstone-free:
+// removing a key immediately restores the canonical layout of the group.
+//
+// The concurrency scheme is the crux. A whole group — all B slots — lives
+// in one CAS word, so every relocation that an insert or a tombstone-free
+// delete requires (shifting keys to keep the priority order) is folded
+// into a single atomic compare-and-swap. Operations are lock-free
+// single-word CAS retry loops and lookups are a single atomic load. As a
+// consequence the table is not merely state-quiescent HI like the
+// universal construction of Algorithm 5: every reachable configuration,
+// including configurations with update operations mid-flight, holds a
+// canonical memory — the table is perfectly history independent
+// (Definition 5). This does not contradict Theorem 13: a set's operations
+// return too few distinct responses to place it in the class C_t, exactly
+// the escape hatch the paper exploits for the binary-register set of
+// Section 5.1. The hihash table is the CAS-word, hash-partitioned
+// production analogue of that construction.
+//
+// Capacity is fixed at construction, as in open addressing: an insert
+// into a group that already holds B other keys returns RspFull and leaves
+// the state unchanged (a deterministic response of the bounded
+// specification, so history independence is preserved). Unbounded
+// cross-group displacement chains (full Robin Hood relocation) are future
+// work tracked in ROADMAP.md.
+//
+// The package ships the subsystem in both of the repository's worlds:
+//
+//   - a simulated twin (NewSimHarness) driven through internal/sim and
+//     internal/harness, machine-checked by internal/hicheck for
+//     linearizability and for HI under the Perfect and StateQuiescent
+//     observation classes, plus an append-order ablation (VariantAppend)
+//     that the checker must refute;
+//   - a native port (Set, Map) over sync/atomic words, exposed through
+//     internal/obj as HashSet/HashMap and through internal/shard as the
+//     direct table backend replacing the per-shard universal construction.
+package hihash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RspFull is the response of an insert that found the key's group already
+// holding its maximum number of keys. It is distinct from the acknowledge
+// response 0 and the membership responses 0/1.
+const RspFull = 2
+
+// GroupOf returns the group (0..groups-1) that key probes, using a fixed
+// splitmix64-style mixer so contiguous key ranges spread evenly. It is
+// the hash function h of the canonical-layout invariant, shared by the
+// specification, the simulated twin and the native port, and delegated to
+// by shard.ShardOf so shard routing uses the identical mixer.
+func GroupOf(key, groups int) int {
+	z := uint64(key) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(groups))
+}
+
+// Params fixes one table geometry: keys are {1..T}, hashed into G groups
+// of B slots each. The capacity of the table is G*B.
+type Params struct {
+	// T is the key domain size; keys are 1..T.
+	T int
+	// G is the number of bucket groups.
+	G int
+	// B is the number of slots per group (the group capacity).
+	B int
+}
+
+// Validate panics if the geometry is malformed.
+func (p Params) Validate() {
+	if p.T < 1 {
+		panic(fmt.Sprintf("hihash: invalid domain T=%d", p.T))
+	}
+	if p.G < 1 {
+		panic(fmt.Sprintf("hihash: invalid group count G=%d", p.G))
+	}
+	if p.B < 1 {
+		panic(fmt.Sprintf("hihash: invalid group capacity B=%d", p.B))
+	}
+}
+
+// String renders the geometry for harness and implementation names.
+func (p Params) String() string { return fmt.Sprintf("t=%d,g=%d,b=%d", p.T, p.G, p.B) }
+
+// EncodeGroup renders a group's key set in canonical priority order:
+// ascending keys inside braces, e.g. "{1,3}" ("{}" when empty). It is the
+// slot layout of the simulated twin and the reference form for snapshot
+// checks of the native port.
+func EncodeGroup(keys []int) string {
+	sorted := append([]int(nil), keys...)
+	sort.Ints(sorted)
+	parts := make([]string, len(sorted))
+	for i, k := range sorted {
+		parts[i] = fmt.Sprint(k)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// DecodeGroup parses an EncodeGroup rendering back into its sorted keys.
+func DecodeGroup(s string) []int {
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		panic("hihash: bad group encoding " + s)
+	}
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return nil
+	}
+	parts := strings.Split(body, ",")
+	keys := make([]int, len(parts))
+	for i, p := range parts {
+		if _, err := fmt.Sscan(p, &keys[i]); err != nil {
+			panic("hihash: bad group encoding " + s)
+		}
+	}
+	return keys
+}
+
+// groupsOf partitions elems (keys of {1..T}) into per-group sorted key
+// lists under the geometry p.
+func groupsOf(p Params, elems []int) [][]int {
+	out := make([][]int, p.G)
+	sorted := append([]int(nil), elems...)
+	sort.Ints(sorted)
+	for _, k := range sorted {
+		if k < 1 || k > p.T {
+			panic(fmt.Sprintf("hihash: element %d out of range 1..%d", k, p.T))
+		}
+		g := GroupOf(k, p.G)
+		out[g] = append(out[g], k)
+	}
+	return out
+}
+
+// CanonicalGroups returns the canonical per-group encodings of the
+// abstract state elems under geometry p — the unique memory representation
+// the table holds whenever its key set is elems. It panics if elems does
+// not fit the geometry (some group over capacity), since such a state is
+// unreachable.
+func CanonicalGroups(p Params, elems []int) []string {
+	p.Validate()
+	groups := groupsOf(p, elems)
+	out := make([]string, p.G)
+	for g, keys := range groups {
+		if len(keys) > p.B {
+			panic(fmt.Sprintf("hihash: state %v overfills group %d (cap %d)", elems, g, p.B))
+		}
+		out[g] = EncodeGroup(keys)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package hihash
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// Map is the native HICHT multi-counter: a lock-free, history-independent
+// map from keys {1..keys} to int counts, hash-partitioned into buckets.
+// Each bucket holds an atomic pointer to an immutable slice of conc.KV
+// pairs sorted by key with zero counts elided — the canonical form — and
+// every update replaces the bucket with a freshly built canonical slice
+// via one pointer CAS. The logical memory representation (Snapshot) is
+// therefore a pure function of the abstract state at every instant, and
+// reads are a single atomic load. Unlike Set there is no capacity bound:
+// buckets grow with their live key count.
+//
+// It mirrors shard.Map's interface (Inc/Dec/Get with previous-count
+// responses) so the two backends are interchangeable in benchmarks, but
+// needs no per-process handles.
+type Map struct {
+	keys    int
+	buckets []atomic.Pointer[[]conc.KV]
+}
+
+var _ conc.Applier = (*Map)(nil)
+
+// NewMap creates a multi-counter over keys {1..keys} with nBuckets
+// buckets.
+func NewMap(keys, nBuckets int) *Map {
+	if keys < 1 {
+		panic(fmt.Sprintf("hihash: invalid key count %d", keys))
+	}
+	if nBuckets < 1 {
+		panic(fmt.Sprintf("hihash: invalid bucket count %d", nBuckets))
+	}
+	return &Map{keys: keys, buckets: make([]atomic.Pointer[[]conc.KV], nBuckets)}
+}
+
+// Name implements conc.Applier.
+func (m *Map) Name() string { return fmt.Sprintf("hihash-map[g=%d]", len(m.buckets)) }
+
+// NumBuckets returns the bucket count.
+func (m *Map) NumBuckets() int { return len(m.buckets) }
+
+func (m *Map) checkKey(key int) {
+	if key < 1 || key > m.keys {
+		panic(fmt.Sprintf("hihash: map key %d out of range 1..%d", key, m.keys))
+	}
+}
+
+// load returns the bucket's canonical KV slice (nil when empty).
+func (m *Map) load(b int) []conc.KV {
+	if p := m.buckets[b].Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Get returns key's current count with a single atomic load.
+func (m *Map) Get(key int) int {
+	m.checkKey(key)
+	for _, kv := range m.load(GroupOf(key, len(m.buckets))) {
+		if kv.K == key {
+			return kv.V
+		}
+	}
+	return 0
+}
+
+// add applies delta to key's count and returns the previous count.
+func (m *Map) add(key, delta int) int {
+	m.checkKey(key)
+	b := GroupOf(key, len(m.buckets))
+	for {
+		old := m.buckets[b].Load()
+		var kvs []conc.KV
+		if old != nil {
+			kvs = *old
+		}
+		i := 0
+		for i < len(kvs) && kvs[i].K < key {
+			i++
+		}
+		cur := 0
+		present := i < len(kvs) && kvs[i].K == key
+		if present {
+			cur = kvs[i].V
+		}
+		next := cur + delta
+		out := make([]conc.KV, 0, len(kvs)+1)
+		out = append(out, kvs[:i]...)
+		if next != 0 {
+			out = append(out, conc.KV{K: key, V: next})
+		}
+		if present {
+			out = append(out, kvs[i+1:]...)
+		} else {
+			out = append(out, kvs[i:]...)
+		}
+		// Canonical empty bucket is the nil pointer, never a pointer to an
+		// empty slice.
+		var repl *[]conc.KV
+		if len(out) > 0 {
+			repl = &out
+		}
+		if m.buckets[b].CompareAndSwap(old, repl) {
+			return cur
+		}
+	}
+}
+
+// Inc increments key's count, returning the previous count.
+func (m *Map) Inc(key int) int { return m.add(key, 1) }
+
+// Dec decrements key's count, returning the previous count.
+func (m *Map) Dec(key int) int { return m.add(key, -1) }
+
+// Apply implements conc.Applier (the pid is unused).
+func (m *Map) Apply(_ int, op core.Op) int {
+	switch op.Name {
+	case spec.OpInc:
+		return m.Inc(op.Arg)
+	case spec.OpDec:
+		return m.Dec(op.Arg)
+	case spec.OpRead:
+		return m.Get(op.Arg)
+	default:
+		panic("hihash: map: unknown op " + op.Name)
+	}
+}
+
+// Counts returns the nonzero counts keyed by key. Per-bucket reads are
+// atomic but the composite read is not; call it only at quiescence.
+func (m *Map) Counts() map[int]int {
+	out := map[int]int{}
+	for b := range m.buckets {
+		for _, kv := range m.load(b) {
+			out[kv.K] = kv.V
+		}
+	}
+	return out
+}
+
+// Snapshot renders the logical memory representation: every bucket's
+// canonical KV list.
+func (m *Map) Snapshot() string {
+	parts := make([]string, len(m.buckets))
+	for b := range m.buckets {
+		parts[b] = fmt.Sprintf("g%d=%s", b, encodeKVs(m.load(b)))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// CanonicalMapSnapshot returns the canonical logical representation of
+// the abstract state counts for a (keys, nBuckets) map.
+func CanonicalMapSnapshot(keys, nBuckets int, counts map[int]int) string {
+	perBucket := make([][]conc.KV, nBuckets)
+	for k := 1; k <= keys; k++ {
+		if v, ok := counts[k]; ok && v != 0 {
+			b := GroupOf(k, nBuckets)
+			perBucket[b] = append(perBucket[b], conc.KV{K: k, V: v})
+		}
+	}
+	for k := range counts {
+		if k < 1 || k > keys {
+			panic(fmt.Sprintf("hihash: canonical key %d out of range 1..%d", k, keys))
+		}
+	}
+	parts := make([]string, nBuckets)
+	for b := range parts {
+		parts[b] = fmt.Sprintf("g%d=%s", b, encodeKVs(perBucket[b]))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// encodeKVs renders a canonical KV list, e.g. "{3:2,7:-1}".
+func encodeKVs(kvs []conc.KV) string {
+	if len(kvs) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(kvs))
+	for i, kv := range kvs {
+		parts[i] = fmt.Sprintf("%d:%d", kv.K, kv.V)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

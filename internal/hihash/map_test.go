@@ -1,0 +1,105 @@
+package hihash_test
+
+import (
+	"sync"
+	"testing"
+
+	"hiconc/internal/hihash"
+	"hiconc/internal/workload"
+)
+
+func TestMapSequentialSemantics(t *testing.T) {
+	m := hihash.NewMap(50, 8)
+	if rsp := m.Inc(10); rsp != 0 {
+		t.Errorf("first inc returned %d", rsp)
+	}
+	if rsp := m.Inc(10); rsp != 1 {
+		t.Errorf("second inc returned %d", rsp)
+	}
+	m.Inc(33)
+	m.Dec(33)
+	if got := m.Get(10); got != 2 {
+		t.Errorf("Get(10) = %d, want 2", got)
+	}
+	counts := m.Counts()
+	if len(counts) != 1 || counts[10] != 2 {
+		t.Errorf("Counts() = %v, want {10: 2} (zero counts elided)", counts)
+	}
+}
+
+// TestMapZeroElision: a key decremented back to zero must vanish from the
+// representation entirely, leaving the memory identical to one that never
+// touched the key.
+func TestMapZeroElision(t *testing.T) {
+	fresh := hihash.NewMap(20, 4)
+	churned := hihash.NewMap(20, 4)
+	for k := 1; k <= 20; k++ {
+		churned.Inc(k)
+		churned.Dec(k)
+	}
+	if fresh.Snapshot() != churned.Snapshot() {
+		t.Fatalf("empty maps differ:\n fresh:   %s\n churned: %s", fresh.Snapshot(), churned.Snapshot())
+	}
+	if want := hihash.CanonicalMapSnapshot(20, 4, nil); churned.Snapshot() != want {
+		t.Fatalf("empty map not canonical:\n got:  %s\n want: %s", churned.Snapshot(), want)
+	}
+}
+
+// TestMapConcurrentSharedKeys: concurrent Zipf-skewed increments sum
+// correctly and the logical memory is canonical at quiescence.
+func TestMapConcurrentSharedKeys(t *testing.T) {
+	const n, keys, perProc = 8, 16, 500
+	m := hihash.NewMap(keys, 4)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			g := workload.NewGen(int64(pid))
+			for i := 0; i < perProc; i++ {
+				m.Inc(g.ZipfKey(keys, 1.2))
+			}
+		}(pid)
+	}
+	wg.Wait()
+	counts := m.Counts()
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	if total != n*perProc {
+		t.Fatalf("total count = %d, want %d", total, n*perProc)
+	}
+	if want := hihash.CanonicalMapSnapshot(keys, m.NumBuckets(), counts); m.Snapshot() != want {
+		t.Fatalf("memory not canonical at quiescence:\n got:  %s\n want: %s", m.Snapshot(), want)
+	}
+}
+
+// TestMapCanonicalAcrossHistories: two histories reaching the same counts
+// leave byte-identical logical memories.
+func TestMapCanonicalAcrossHistories(t *testing.T) {
+	const keys, buckets = 12, 3
+	a := hihash.NewMap(keys, buckets)
+	for i := 0; i < 3; i++ {
+		a.Inc(5)
+	}
+	a.Inc(7)
+	a.Inc(2)
+	a.Dec(2)
+
+	b := hihash.NewMap(keys, buckets)
+	b.Inc(7)
+	b.Dec(7)
+	b.Inc(7)
+	b.Inc(5)
+	b.Dec(5)
+	for i := 0; i < 3; i++ {
+		b.Inc(5)
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("same counts, different memories:\n a: %s\n b: %s", a.Snapshot(), b.Snapshot())
+	}
+	if want := hihash.CanonicalMapSnapshot(keys, buckets, map[int]int{5: 3, 7: 1}); a.Snapshot() != want {
+		t.Fatalf("memory not canonical:\n got:  %s\n want: %s", a.Snapshot(), want)
+	}
+}

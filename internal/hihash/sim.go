@@ -1,0 +1,166 @@
+package hihash
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/sim"
+	"hiconc/internal/spec"
+)
+
+// Variant selects the simulated twin's group layout discipline.
+type Variant int
+
+const (
+	// VariantCanonical keeps every group in priority order (ascending
+	// keys) — the history-independent layout.
+	VariantCanonical Variant = iota
+	// VariantAppend is the ablation: inserts append at the end of the
+	// group, so the slot order leaks insertion order. hicheck must refute
+	// it already at the sequential level (BuildCanon returns a
+	// SeqHIViolation).
+	VariantAppend
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == VariantAppend {
+		return "append"
+	}
+	return "canonical"
+}
+
+// NewSimHarness builds the lock-step-simulator twin of the table for n
+// processes under geometry p: one CAS base object per bucket group, whose
+// value is the group's EncodeGroup rendering. Every operation is the same
+// code the native port runs — an atomic read for lookups, a read/CAS retry
+// loop for updates — so each primitive step is one scheduler step and
+// internal/hicheck can machine-check linearizability and history
+// independence over every interleaving within its bounds.
+func NewSimHarness(p Params, n int, variant Variant) *harness.Harness {
+	p.Validate()
+	sp := NewSpec(p)
+	allOps := sp.Ops(sp.Init())
+	procOps := make([][]core.Op, n)
+	for i := range procOps {
+		procOps[i] = allOps
+	}
+	return &harness.Harness{
+		Name:    fmt.Sprintf("hihash-sim-%v[%v,n=%d]", variant, p, n),
+		Spec:    sp,
+		ProcOps: procOps,
+		Build: func(srcs []harness.OpSource) *sim.Runner {
+			mem := sim.NewMemory()
+			groups := make([]*sim.CASObj, p.G)
+			for g := range groups {
+				groups[g] = mem.NewCAS(fmt.Sprintf("g%d", g), EncodeGroup(nil))
+			}
+			progs := make([]sim.Program, n)
+			for pid := 0; pid < n; pid++ {
+				src := srcs[pid]
+				progs[pid] = func(pr *sim.Proc) {
+					for op, ok := src.Next(pr); ok; op, ok = src.Next(pr) {
+						runSimOp(pr, groups, p, variant, op)
+					}
+				}
+			}
+			return sim.NewRunner(mem, progs)
+		},
+	}
+}
+
+// runSimOp executes one table operation against the simulated groups.
+// Lookups are a single read; updates are the lock-free read/CAS retry
+// loop of the native port. Inserts of present keys, removes of absent
+// keys and inserts into full groups linearize at the read that observed
+// the condition and leave the memory untouched.
+func runSimOp(pr *sim.Proc, groups []*sim.CASObj, p Params, variant Variant, op core.Op) {
+	g := groups[GroupOf(op.Arg, p.G)]
+	pr.Invoke(op, op.Name != spec.OpLookup)
+	for {
+		cur := pr.ReadCAS(g).(string)
+		keys := DecodeGroup(cur)
+		idx := indexOf(keys, op.Arg)
+		switch op.Name {
+		case spec.OpLookup:
+			if idx >= 0 {
+				pr.Return(1)
+			} else {
+				pr.Return(0)
+			}
+			return
+		case spec.OpInsert:
+			if idx >= 0 {
+				pr.Return(0)
+				return
+			}
+			if len(keys) >= p.B {
+				pr.Return(RspFull)
+				return
+			}
+			var next []int
+			if variant == VariantAppend {
+				next = append(append([]int(nil), keys...), op.Arg)
+			} else {
+				next = insertSorted(keys, op.Arg)
+			}
+			if pr.CAS(g, cur, encodeRaw(next)) {
+				pr.Return(0)
+				return
+			}
+		case spec.OpRemove:
+			if idx < 0 {
+				pr.Return(0)
+				return
+			}
+			next := append(append([]int(nil), keys[:idx]...), keys[idx+1:]...)
+			if pr.CAS(g, cur, encodeRaw(next)) {
+				pr.Return(0)
+				return
+			}
+		default:
+			panic("hihash: sim: unknown op " + op.Name)
+		}
+	}
+}
+
+// encodeRaw renders keys in their given order (EncodeGroup would re-sort,
+// masking the append ablation).
+func encodeRaw(keys []int) string {
+	if len(keys) == 0 {
+		return "{}"
+	}
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(k)
+	}
+	return s + "}"
+}
+
+// indexOf returns the position of key in keys, or -1.
+func indexOf(keys []int, key int) int {
+	for i, k := range keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertSorted returns a copy of keys with key added in ascending
+// (priority) order.
+func insertSorted(keys []int, key int) []int {
+	i := 0
+	for i < len(keys) && keys[i] < key {
+		i++
+	}
+	out := make([]int, 0, len(keys)+1)
+	out = append(out, keys[:i]...)
+	out = append(out, key)
+	out = append(out, keys[i:]...)
+	return out
+}

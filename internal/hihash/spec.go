@@ -1,0 +1,106 @@
+package hihash
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// Spec is the sequential specification of the bounded hash table: a set
+// over {1..T} whose insert additionally respects the fixed geometry — an
+// insert into a group already holding B other keys responds RspFull and
+// leaves the state unchanged. States are encoded as membership bit strings
+// exactly like spec.Set, so the spec stays bounded and hicheck-friendly;
+// the geometry only shows up in Δ through the RspFull branch.
+type Spec struct {
+	// P is the table geometry shared with the implementations.
+	P Params
+}
+
+var _ core.Spec = Spec{}
+
+// NewSpec returns the bounded hash-table specification for geometry p.
+func NewSpec(p Params) Spec {
+	p.Validate()
+	return Spec{P: p}
+}
+
+// Name implements core.Spec.
+func (s Spec) Name() string { return fmt.Sprintf("hihash[%v]", s.P) }
+
+// Init implements core.Spec: the empty table.
+func (s Spec) Init() string { return strings.Repeat("0", s.P.T) }
+
+// groupLoad counts the members of state hashing to group g.
+func (s Spec) groupLoad(state string, g int) int {
+	n := 0
+	for k := 1; k <= s.P.T; k++ {
+		if state[k-1] == '1' && GroupOf(k, s.P.G) == g {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply implements core.Spec.
+func (s Spec) Apply(state string, op core.Op) (string, int) {
+	if len(state) != s.P.T {
+		panic("hihash: bad spec state " + state)
+	}
+	if op.Arg < 1 || op.Arg > s.P.T {
+		panic(fmt.Sprintf("hihash: spec op %v out of range 1..%d", op, s.P.T))
+	}
+	i := op.Arg - 1
+	member := state[i] == '1'
+	switch op.Name {
+	case spec.OpInsert:
+		if member {
+			return state, 0
+		}
+		if s.groupLoad(state, GroupOf(op.Arg, s.P.G)) >= s.P.B {
+			return state, RspFull
+		}
+		return state[:i] + "1" + state[i+1:], 0
+	case spec.OpRemove:
+		if !member {
+			return state, 0
+		}
+		return state[:i] + "0" + state[i+1:], 0
+	case spec.OpLookup:
+		if member {
+			return state, 1
+		}
+		return state, 0
+	default:
+		panic("hihash: spec: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec.
+func (s Spec) ReadOnly(op core.Op) bool { return op.Name == spec.OpLookup }
+
+// Ops implements core.Spec.
+func (s Spec) Ops(string) []core.Op {
+	ops := make([]core.Op, 0, 3*s.P.T)
+	for v := 1; v <= s.P.T; v++ {
+		ops = append(ops,
+			core.Op{Name: spec.OpInsert, Arg: v},
+			core.Op{Name: spec.OpRemove, Arg: v},
+			core.Op{Name: spec.OpLookup, Arg: v},
+		)
+	}
+	return ops
+}
+
+// StateElems decodes a spec state back into its sorted elements.
+func StateElems(state string) []int {
+	var out []int
+	for i, c := range state {
+		if c == '1' {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package hihash_test
+
+import (
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/spec"
+)
+
+func ins(v int) core.Op  { return core.Op{Name: spec.OpInsert, Arg: v} }
+func rem(v int) core.Op  { return core.Op{Name: spec.OpRemove, Arg: v} }
+func look(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+
+// sameGroupKeys returns two distinct keys of {1..T} hashing to the same
+// group, which must exist whenever T > G.
+func sameGroupKeys(t *testing.T, T, G int) (int, int) {
+	t.Helper()
+	byGroup := map[int]int{}
+	for k := 1; k <= T; k++ {
+		g := hihash.GroupOf(k, G)
+		if prev, ok := byGroup[g]; ok {
+			return prev, k
+		}
+		byGroup[g] = k
+	}
+	t.Fatalf("no two keys of 1..%d share a group for G=%d", T, G)
+	return 0, 0
+}
+
+func TestGroupOfRange(t *testing.T) {
+	for _, groups := range []int{1, 2, 3, 16} {
+		hit := make([]int, groups)
+		for key := 1; key <= 4096; key++ {
+			g := hihash.GroupOf(key, groups)
+			if g < 0 || g >= groups {
+				t.Fatalf("GroupOf(%d, %d) = %d out of range", key, groups, g)
+			}
+			hit[g]++
+		}
+		for g, c := range hit {
+			if c == 0 {
+				t.Errorf("G=%d: group %d receives no keys out of 4096", groups, g)
+			}
+		}
+	}
+}
+
+func TestGroupEncoding(t *testing.T) {
+	cases := [][]int{nil, {3}, {1, 2, 7}}
+	for _, keys := range cases {
+		enc := hihash.EncodeGroup(keys)
+		got := hihash.DecodeGroup(enc)
+		if len(got) != len(keys) {
+			t.Fatalf("DecodeGroup(%q) = %v, want %v", enc, got, keys)
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("DecodeGroup(%q) = %v, want %v", enc, got, keys)
+			}
+		}
+	}
+	if enc := hihash.EncodeGroup([]int{7, 1, 2}); enc != "{1,2,7}" {
+		t.Errorf("EncodeGroup sorts to %q, want {1,2,7}", enc)
+	}
+}
+
+func TestSpecFullResponse(t *testing.T) {
+	p := hihash.Params{T: 4, G: 2, B: 1}
+	sp := hihash.NewSpec(p)
+	a, b := sameGroupKeys(t, p.T, p.G)
+	st, rsp := sp.Apply(sp.Init(), ins(a))
+	if rsp != 0 {
+		t.Fatalf("first insert responded %d", rsp)
+	}
+	st2, rsp := sp.Apply(st, ins(b))
+	if rsp != hihash.RspFull || st2 != st {
+		t.Fatalf("insert into full group: (%q, %d), want unchanged state and RspFull", st2, rsp)
+	}
+	// Removing a frees the slot for b.
+	st3, _ := sp.Apply(st, rem(a))
+	if _, rsp := sp.Apply(st3, ins(b)); rsp != 0 {
+		t.Fatalf("insert after remove responded %d", rsp)
+	}
+}
+
+func TestSpecReadOnlyAndReversible(t *testing.T) {
+	sp := hihash.NewSpec(hihash.Params{T: 3, G: 2, B: 2})
+	if err := core.VerifyReadOnly(sp, 100); err != nil {
+		t.Fatal(err)
+	}
+	rev, err := core.Reversible(sp, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rev {
+		t.Error("bounded hash table spec should be reversible")
+	}
+}
+
+func TestCanonicalGroupsMatchesSpecStates(t *testing.T) {
+	p := hihash.Params{T: 3, G: 2, B: 2}
+	sp := hihash.NewSpec(p)
+	states, err := core.Reachable(sp, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		encs := hihash.CanonicalGroups(p, hihash.StateElems(st))
+		if len(encs) != p.G {
+			t.Fatalf("state %q: %d group encodings, want %d", st, len(encs), p.G)
+		}
+	}
+}

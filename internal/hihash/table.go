@@ -1,0 +1,228 @@
+package hihash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/spec"
+)
+
+// SlotsPerGroup is the native group capacity B: four 16-bit key slots
+// packed into one uint64 CAS word, so every insert, tombstone-free delete
+// and the relocation either implies is one atomic compare-and-swap.
+const SlotsPerGroup = 4
+
+// Set is the native HICHT table: a lock-free, perfectly history-
+// independent hash set over {1..domain} (domain <= 65535). The table is a
+// fixed array of uint64 groups; each group packs up to four keys in
+// canonical priority order (ascending, low slots first, empty slots zero
+// above them), so the memory is a pure function of the key set at every
+// instant. Lookups are one atomic load; updates are single-word CAS retry
+// loops — no announce cells, no helping, no per-shard serialization
+// point. Inserts into a full group return RspFull (the bounded
+// open-addressing capacity; see the package comment).
+//
+// Unlike the universal-construction objects, a Set needs no per-process
+// handles: any number of goroutines may call it directly.
+type Set struct {
+	domain int
+	groups []atomic.Uint64
+}
+
+var _ conc.Applier = (*Set)(nil)
+
+// DefaultGroups returns a group count giving the table roughly twice the
+// domain in slot capacity — ample headroom against per-group overflow for
+// balanced key sets.
+func DefaultGroups(domain int) int {
+	g := (2*domain + SlotsPerGroup - 1) / SlotsPerGroup
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// NewSet creates a table over keys {1..domain} with nGroups groups of
+// SlotsPerGroup slots each.
+func NewSet(domain, nGroups int) *Set {
+	if domain < 1 || domain > 0xFFFF {
+		panic(fmt.Sprintf("hihash: set domain %d out of range 1..65535", domain))
+	}
+	if nGroups < 1 {
+		panic(fmt.Sprintf("hihash: invalid group count %d", nGroups))
+	}
+	return &Set{domain: domain, groups: make([]atomic.Uint64, nGroups)}
+}
+
+// Name implements conc.Applier.
+func (s *Set) Name() string { return fmt.Sprintf("hihash-set[g=%d]", len(s.groups)) }
+
+// NumGroups returns the group count.
+func (s *Set) NumGroups() int { return len(s.groups) }
+
+// Capacity returns the total slot capacity of the table.
+func (s *Set) Capacity() int { return len(s.groups) * SlotsPerGroup }
+
+// unpack extracts the keys of a group word in slot (priority) order.
+func unpack(w uint64, keys *[SlotsPerGroup]int) int {
+	n := 0
+	for i := 0; i < SlotsPerGroup; i++ {
+		k := int(w >> (16 * i) & 0xFFFF)
+		if k == 0 {
+			break
+		}
+		keys[i] = k
+		n++
+	}
+	return n
+}
+
+// pack builds a group word from n keys already in priority order.
+func pack(keys *[SlotsPerGroup]int, n int) uint64 {
+	var w uint64
+	for i := 0; i < n; i++ {
+		w |= uint64(keys[i]) << (16 * i)
+	}
+	return w
+}
+
+func (s *Set) checkKey(key int) {
+	if key < 1 || key > s.domain {
+		panic(fmt.Sprintf("hihash: key %d out of range 1..%d", key, s.domain))
+	}
+}
+
+// Insert adds key. It returns 0 on success (or if key was already
+// present) and RspFull if key's group is at capacity.
+func (s *Set) Insert(key int) int {
+	s.checkKey(key)
+	g := &s.groups[GroupOf(key, len(s.groups))]
+	for {
+		w := g.Load()
+		var keys [SlotsPerGroup]int
+		n := unpack(w, &keys)
+		pos := n
+		for i := 0; i < n; i++ {
+			if keys[i] == key {
+				return 0
+			}
+			if keys[i] > key {
+				pos = i
+				break
+			}
+		}
+		if n == SlotsPerGroup {
+			return RspFull
+		}
+		// Shift lower-priority keys up one slot and place key — the
+		// Robin-Hood-style relocation, folded into one CAS.
+		copy(keys[pos+1:n+1], keys[pos:n])
+		keys[pos] = key
+		if g.CompareAndSwap(w, pack(&keys, n+1)) {
+			return 0
+		}
+	}
+}
+
+// Remove deletes key (tombstone-free: the canonical layout is restored by
+// the same CAS that removes the key). It always returns 0.
+func (s *Set) Remove(key int) int {
+	s.checkKey(key)
+	g := &s.groups[GroupOf(key, len(s.groups))]
+	for {
+		w := g.Load()
+		var keys [SlotsPerGroup]int
+		n := unpack(w, &keys)
+		pos := -1
+		for i := 0; i < n; i++ {
+			if keys[i] == key {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return 0
+		}
+		copy(keys[pos:n-1], keys[pos+1:n])
+		keys[n-1] = 0
+		if g.CompareAndSwap(w, pack(&keys, n-1)) {
+			return 0
+		}
+	}
+}
+
+// Contains reports membership of key with a single atomic load.
+func (s *Set) Contains(key int) bool {
+	s.checkKey(key)
+	w := s.groups[GroupOf(key, len(s.groups))].Load()
+	var keys [SlotsPerGroup]int
+	n := unpack(w, &keys)
+	for i := 0; i < n; i++ {
+		if keys[i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply implements conc.Applier (the pid is unused — the table needs no
+// per-process state).
+func (s *Set) Apply(_ int, op core.Op) int {
+	switch op.Name {
+	case spec.OpInsert:
+		return s.Insert(op.Arg)
+	case spec.OpRemove:
+		return s.Remove(op.Arg)
+	case spec.OpLookup:
+		if s.Contains(op.Arg) {
+			return 1
+		}
+		return 0
+	default:
+		panic("hihash: set: unknown op " + op.Name)
+	}
+}
+
+// Elements returns the sorted members. Per-group reads are atomic but the
+// composite read is not; call it only at quiescence.
+func (s *Set) Elements() []int {
+	var out []int
+	for g := range s.groups {
+		w := s.groups[g].Load()
+		var keys [SlotsPerGroup]int
+		n := unpack(w, &keys)
+		out = append(out, keys[:n]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Snapshot renders the memory representation: every group's keys in slot
+// order.
+func (s *Set) Snapshot() string {
+	parts := make([]string, len(s.groups))
+	for g := range s.groups {
+		w := s.groups[g].Load()
+		var keys [SlotsPerGroup]int
+		n := unpack(w, &keys)
+		parts[g] = fmt.Sprintf("g%d=%s", g, EncodeGroup(keys[:n]))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// CanonicalSetSnapshot returns the canonical memory representation of the
+// abstract state elems for a (domain, nGroups) table: each group holds its
+// keys in priority order. Snapshot must equal it at quiescence (and, for
+// this table, at every other instant too).
+func CanonicalSetSnapshot(domain, nGroups int, elems []int) string {
+	encs := CanonicalGroups(Params{T: domain, G: nGroups, B: SlotsPerGroup}, elems)
+	parts := make([]string, len(encs))
+	for g, e := range encs {
+		parts[g] = fmt.Sprintf("g%d=%s", g, e)
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,219 @@
+package hihash_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"hiconc/internal/hihash"
+)
+
+func TestSetSequentialSemantics(t *testing.T) {
+	s := hihash.NewSet(1000, hihash.DefaultGroups(1000))
+	for _, k := range []int{1, 7, 42, 999, 1000} {
+		if s.Contains(k) {
+			t.Errorf("fresh set contains %d", k)
+		}
+		if rsp := s.Insert(k); rsp != 0 {
+			t.Errorf("Insert(%d) = %d", k, rsp)
+		}
+		if !s.Contains(k) {
+			t.Errorf("set missing %d after insert", k)
+		}
+		if rsp := s.Insert(k); rsp != 0 {
+			t.Errorf("duplicate Insert(%d) = %d", k, rsp)
+		}
+	}
+	s.Remove(42)
+	if s.Contains(42) {
+		t.Error("set contains 42 after remove")
+	}
+	want := []int{1, 7, 999, 1000}
+	if got := s.Elements(); !equalInts(got, want) {
+		t.Errorf("Elements() = %v, want %v", got, want)
+	}
+}
+
+// TestSetFullGroup: with a single group the fifth distinct key must be
+// rejected with RspFull, and a remove must free the slot — tombstone-free,
+// so the freed capacity is immediately reusable.
+func TestSetFullGroup(t *testing.T) {
+	s := hihash.NewSet(10, 1)
+	for k := 1; k <= 4; k++ {
+		if rsp := s.Insert(k); rsp != 0 {
+			t.Fatalf("Insert(%d) = %d", k, rsp)
+		}
+	}
+	if rsp := s.Insert(5); rsp != hihash.RspFull {
+		t.Fatalf("Insert(5) into full group = %d, want RspFull", rsp)
+	}
+	if s.Contains(5) {
+		t.Fatal("rejected key 5 is present")
+	}
+	s.Remove(2)
+	if rsp := s.Insert(5); rsp != 0 {
+		t.Fatalf("Insert(5) after remove = %d", rsp)
+	}
+	if got, want := s.Snapshot(), hihash.CanonicalSetSnapshot(10, 1, []int{1, 3, 4, 5}); got != want {
+		t.Fatalf("snapshot after churn:\n got:  %s\n want: %s", got, want)
+	}
+}
+
+// TestSetCanonicalAcrossHistories: different histories reaching the same
+// key set leave byte-identical memories.
+func TestSetCanonicalAcrossHistories(t *testing.T) {
+	const domain = 64
+	nGroups := hihash.DefaultGroups(domain)
+	target := []int{3, 9, 10, 31, 64}
+	run := func(seed int64) string {
+		s := hihash.NewSet(domain, nGroups)
+		rng := rand.New(rand.NewSource(seed))
+		keys := append([]int(nil), target...)
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			// Churn around each real insert with a non-target decoy (a
+			// target decoy would remove a key already inserted).
+			decoy := rng.Intn(domain) + 1
+			for contains(target, decoy) {
+				decoy = decoy%domain + 1
+			}
+			s.Insert(decoy)
+			s.Remove(decoy)
+			if rsp := s.Insert(k); rsp != 0 {
+				t.Fatalf("Insert(%d) = %d", k, rsp)
+			}
+		}
+		// Remove any decoys that happened to be re-inserted (none should
+		// remain, but keep the histories honest).
+		for k := 1; k <= domain; k++ {
+			if !contains(target, k) {
+				s.Remove(k)
+			}
+		}
+		return s.Snapshot()
+	}
+	a, b := run(1), run(2)
+	if a != b {
+		t.Fatalf("same key set, different memories:\n a: %s\n b: %s", a, b)
+	}
+	if want := hihash.CanonicalSetSnapshot(domain, nGroups, target); a != want {
+		t.Fatalf("memory not canonical:\n got:  %s\n want: %s", a, want)
+	}
+}
+
+// TestSetConcurrentDisjointKeys: goroutines on disjoint keys must all
+// land and the memory must be canonical at quiescence.
+func TestSetConcurrentDisjointKeys(t *testing.T) {
+	const n, perProc = 8, 50
+	domain := n * perProc
+	nGroups := hihash.DefaultGroups(domain)
+	s := hihash.NewSet(domain, nGroups)
+	var wg sync.WaitGroup
+	var full [8]int
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				key := pid*perProc + i + 1
+				if s.Insert(key) == hihash.RspFull {
+					full[pid]++
+					continue
+				}
+				if i%2 == 1 {
+					s.Remove(key)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	// Recompute the expected set from what actually landed (a rare
+	// unlucky hash could fill a group; the canonical check must still
+	// hold for the realized set).
+	got := s.Elements()
+	if want := hihash.CanonicalSetSnapshot(domain, nGroups, got); s.Snapshot() != want {
+		t.Fatalf("memory not canonical at quiescence:\n got:  %s\n want: %s", s.Snapshot(), want)
+	}
+	totalFull := 0
+	for _, f := range full {
+		totalFull += f
+	}
+	if wantLen := n*perProc/2 - totalFull; len(got) < wantLen {
+		t.Fatalf("Elements() has %d keys, want at least %d", len(got), wantLen)
+	}
+}
+
+// TestSetConcurrentSharedChurn hammers a small hot key range from many
+// goroutines; at quiescence the memory must be canonical for whatever set
+// remains.
+func TestSetConcurrentSharedChurn(t *testing.T) {
+	const n, domain, iters = 8, 32, 2000
+	nGroups := hihash.DefaultGroups(domain)
+	s := hihash.NewSet(domain, nGroups)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pid)))
+			for i := 0; i < iters; i++ {
+				k := rng.Intn(domain) + 1
+				switch rng.Intn(3) {
+				case 0:
+					s.Insert(k)
+				case 1:
+					s.Remove(k)
+				default:
+					s.Contains(k)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if want := hihash.CanonicalSetSnapshot(domain, nGroups, s.Elements()); s.Snapshot() != want {
+		t.Fatalf("memory not canonical at quiescence:\n got:  %s\n want: %s", s.Snapshot(), want)
+	}
+}
+
+func contains(xs []int, k int) bool {
+	for _, x := range xs {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSetElementsSorted(t *testing.T) {
+	s := hihash.NewSet(100, 8)
+	for _, k := range []int{50, 3, 99, 21} {
+		s.Insert(k)
+	}
+	got := s.Elements()
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("Elements() = %v not sorted", got)
+	}
+}
+
+func ExampleSet() {
+	s := hihash.NewSet(100, hihash.DefaultGroups(100))
+	s.Insert(42)
+	s.Insert(7)
+	s.Remove(7)
+	fmt.Println(s.Elements())
+	// Output: [42]
+}

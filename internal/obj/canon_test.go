@@ -1,0 +1,205 @@
+package obj_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hiconc/internal/hihash"
+	"hiconc/internal/obj"
+	"hiconc/internal/shard"
+)
+
+// This file is the API-layer history-independence property test: equal
+// abstract states reached by different operation orders must yield
+// byte-identical Snapshot() strings, equal to the pure canonical-snapshot
+// functions. It is direct SQHI evidence at the public surface,
+// complementing the machine checks that internal/hicheck runs against the
+// simulated twins.
+
+// targetSet draws a random subset of {1..domain}.
+func targetSet(rng *rand.Rand, domain int) []int {
+	var out []int
+	for k := 1; k <= domain; k++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// shuffled returns a copy of keys in random order.
+func shuffled(rng *rand.Rand, keys []int) []int {
+	out := append([]int(nil), keys...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func inSet(keys []int, k int) bool {
+	for _, x := range keys {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShardedSetSnapshotCanonicalProperty: for random target sets, two
+// random histories (different insertion orders, different churn of
+// non-target keys, different invoking processes) must leave the sharded
+// set's composite memory byte-identical and equal to
+// shard.CanonicalSetSnapshot.
+func TestShardedSetSnapshotCanonicalProperty(t *testing.T) {
+	const n, domain, nShards, trials = 4, 48, 4, 20
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		target := targetSet(rng, domain)
+		history := func(seed int64) string {
+			hrng := rand.New(rand.NewSource(seed))
+			s := obj.NewShardedSet(n, domain, nShards)
+			handles := make([]*obj.ShardedSetHandle, n)
+			for pid := range handles {
+				handles[pid] = s.Handle(pid)
+			}
+			for _, k := range shuffled(hrng, target) {
+				h := handles[hrng.Intn(n)]
+				// Churn a non-target key around the real insert.
+				decoy := hrng.Intn(domain) + 1
+				for inSet(target, decoy) {
+					decoy = decoy%domain + 1
+				}
+				h.Insert(decoy)
+				h.Insert(k)
+				handles[hrng.Intn(n)].Remove(decoy)
+			}
+			return s.Snapshot()
+		}
+		a, b := history(int64(1000+trial)), history(int64(2000+trial))
+		if a != b {
+			t.Fatalf("trial %d: same state, different composite memories:\n a: %s\n b: %s", trial, a, b)
+		}
+		if want := shard.CanonicalSetSnapshot(n, domain, nShards, target); a != want {
+			t.Fatalf("trial %d: memory not canonical:\n got:  %s\n want: %s", trial, a, want)
+		}
+	}
+}
+
+// TestShardedMapSnapshotCanonicalProperty: random target counts reached
+// through different inc/dec orders must leave identical composite
+// memories equal to shard.CanonicalMapSnapshot.
+func TestShardedMapSnapshotCanonicalProperty(t *testing.T) {
+	const n, keys, nShards, trials = 4, 24, 4, 20
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		counts := map[int]int{}
+		for k := 1; k <= keys; k++ {
+			if rng.Intn(3) == 0 {
+				counts[k] = rng.Intn(4) + 1
+			}
+		}
+		history := func(seed int64) string {
+			hrng := rand.New(rand.NewSource(seed))
+			m := obj.NewShardedMap(n, keys, nShards)
+			handles := make([]*obj.ShardedMapHandle, n)
+			for pid := range handles {
+				handles[pid] = m.Handle(pid)
+			}
+			// Emit the needed increments in random order, with extra
+			// inc/dec churn that cancels out.
+			var steps []func()
+			for k, v := range counts {
+				k := k
+				for i := 0; i < v; i++ {
+					steps = append(steps, func() { handles[hrng.Intn(n)].Inc(k) })
+				}
+			}
+			for i := 0; i < keys/2; i++ {
+				k := hrng.Intn(keys) + 1
+				steps = append(steps, func() { handles[hrng.Intn(n)].Inc(k) })
+				steps = append(steps, func() { handles[hrng.Intn(n)].Dec(k) })
+			}
+			// Churn pairs must both run; shuffle whole steps only.
+			hrng.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+			for _, st := range steps {
+				st()
+			}
+			return m.Snapshot()
+		}
+		a, b := history(int64(3000+trial)), history(int64(4000+trial))
+		if a != b {
+			t.Fatalf("trial %d: same counts, different composite memories:\n a: %s\n b: %s", trial, a, b)
+		}
+		if want := shard.CanonicalMapSnapshot(n, keys, nShards, counts); a != want {
+			t.Fatalf("trial %d: memory not canonical:\n got:  %s\n want: %s", trial, a, want)
+		}
+	}
+}
+
+// TestHashSetSnapshotCanonicalProperty: the same property for the direct
+// HICHT table, whose snapshot must additionally match
+// hihash.CanonicalSetSnapshot for the realized key set.
+func TestHashSetSnapshotCanonicalProperty(t *testing.T) {
+	const domain, trials = 48, 20
+	nGroups := hihash.DefaultGroups(domain)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		target := targetSet(rng, domain)
+		history := func(seed int64) string {
+			hrng := rand.New(rand.NewSource(seed))
+			s := obj.NewHashSet(domain)
+			for _, k := range shuffled(hrng, target) {
+				decoy := hrng.Intn(domain) + 1
+				for inSet(target, decoy) {
+					decoy = decoy%domain + 1
+				}
+				s.Insert(decoy)
+				if !s.Insert(k) {
+					t.Fatalf("trial %d: Insert(%d) hit a full group", trial, k)
+				}
+				s.Remove(decoy)
+			}
+			return s.Snapshot()
+		}
+		a, b := history(int64(5000+trial)), history(int64(6000+trial))
+		if a != b {
+			t.Fatalf("trial %d: same state, different memories:\n a: %s\n b: %s", trial, a, b)
+		}
+		if want := hihash.CanonicalSetSnapshot(domain, nGroups, target); a != want {
+			t.Fatalf("trial %d: memory not canonical:\n got:  %s\n want: %s", trial, a, want)
+		}
+	}
+}
+
+// TestHashMapSnapshotMatchesShardedMapSemantics: the two map backends
+// must agree on counts for identical operation sequences, and the hash
+// map's memory must be canonical.
+func TestHashMapSnapshotMatchesShardedMapSemantics(t *testing.T) {
+	const keys = 24
+	sharded := obj.NewShardedMap(1, keys, 4)
+	hashed := obj.NewHashMap(keys)
+	h := sharded.Handle(0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		k := rng.Intn(keys) + 1
+		if rng.Intn(2) == 0 {
+			if a, b := h.Inc(k), hashed.Inc(k); a != b {
+				t.Fatalf("Inc(%d) responses diverge: %d vs %d", k, a, b)
+			}
+		} else {
+			if a, b := h.Dec(k), hashed.Dec(k); a != b {
+				t.Fatalf("Dec(%d) responses diverge: %d vs %d", k, a, b)
+			}
+		}
+	}
+	sc, hc := sharded.Counts(), hashed.Counts()
+	if len(sc) != len(hc) {
+		t.Fatalf("counts diverge: %v vs %v", sc, hc)
+	}
+	for k, v := range sc {
+		if hc[k] != v {
+			t.Fatalf("count for key %d diverges: %d vs %d", k, v, hc[k])
+		}
+	}
+	if want := hihash.CanonicalMapSnapshot(keys, 6, hc); hashed.Snapshot() != want {
+		t.Fatalf("hash map memory not canonical:\n got:  %s\n want: %s", hashed.Snapshot(), want)
+	}
+}

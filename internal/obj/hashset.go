@@ -1,0 +1,82 @@
+package obj
+
+import (
+	"hiconc/internal/hihash"
+)
+
+// HashSet is the user-facing HICHT table: a lock-free, perfectly
+// history-independent hash set over {1..domain} built on per-bucket CAS
+// words (internal/hihash) instead of the universal construction. Unlike
+// the Handle-based objects it needs no per-process handles — any number
+// of goroutines may call it directly — and its throughput is not bounded
+// by a per-object or per-shard serialization point.
+//
+// The table has fixed capacity: Insert returns false when the key's
+// bucket group is full (see internal/hihash). Use ShardedSet when
+// unbounded capacity matters more than the direct-table fast path.
+type HashSet struct {
+	s *hihash.Set
+}
+
+// NewHashSet creates a hash set over keys {1..domain} with roughly twice
+// the domain in slot capacity.
+func NewHashSet(domain int) *HashSet {
+	return &HashSet{s: hihash.NewSet(domain, hihash.DefaultGroups(domain))}
+}
+
+// NewHashSetWithGroups creates a hash set with an explicit group count
+// (capacity = 4 * nGroups slots).
+func NewHashSetWithGroups(domain, nGroups int) *HashSet {
+	return &HashSet{s: hihash.NewSet(domain, nGroups)}
+}
+
+// Insert adds v. It reports whether v is in the set afterwards (false
+// only when v's bucket group is at capacity).
+func (h *HashSet) Insert(v int) bool { return h.s.Insert(v) != hihash.RspFull }
+
+// Remove deletes v.
+func (h *HashSet) Remove(v int) { h.s.Remove(v) }
+
+// Contains reports whether v is in the set (one atomic load).
+func (h *HashSet) Contains(v int) bool { return h.s.Contains(v) }
+
+// Elements returns the sorted members; composite reads are only atomic at
+// quiescence.
+func (h *HashSet) Elements() []int { return h.s.Elements() }
+
+// Snapshot returns the memory representation (for HI inspection). For
+// this object it is canonical at every instant, not only at quiescence.
+func (h *HashSet) Snapshot() string { return h.s.Snapshot() }
+
+// HashMap is the user-facing lock-free history-independent multi-counter
+// over keys {1..keys}, built on per-bucket atomic pointers to canonical
+// immutable entry lists (internal/hihash). Like HashSet it needs no
+// per-process handles; unlike HashSet it has no capacity bound.
+type HashMap struct {
+	m *hihash.Map
+}
+
+// NewHashMap creates a hash map over keys {1..keys}.
+func NewHashMap(keys int) *HashMap {
+	nBuckets := keys / 4
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	return &HashMap{m: hihash.NewMap(keys, nBuckets)}
+}
+
+// Inc increments key's count and returns the previous count.
+func (h *HashMap) Inc(key int) int { return h.m.Inc(key) }
+
+// Dec decrements key's count and returns the previous count.
+func (h *HashMap) Dec(key int) int { return h.m.Dec(key) }
+
+// Get returns key's current count (one atomic load).
+func (h *HashMap) Get(key int) int { return h.m.Get(key) }
+
+// Counts returns the nonzero counts keyed by key; composite reads are
+// only atomic at quiescence.
+func (h *HashMap) Counts() map[int]int { return h.m.Counts() }
+
+// Snapshot returns the logical memory representation (for HI inspection).
+func (h *HashMap) Snapshot() string { return h.m.Snapshot() }

@@ -1,0 +1,92 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+
+	"hiconc/internal/hihash"
+	"hiconc/internal/shard"
+)
+
+func TestHashSetSequentialSemantics(t *testing.T) {
+	s := shard.NewHashSet(1, 100, 4)
+	for _, k := range []int{1, 7, 42, 99, 100} {
+		if s.Contains(0, k) {
+			t.Errorf("fresh set contains %d", k)
+		}
+		if rsp := s.Insert(0, k); rsp != 0 {
+			t.Errorf("Insert(%d) = %d", k, rsp)
+		}
+		if !s.Contains(0, k) {
+			t.Errorf("set missing %d after insert", k)
+		}
+	}
+	s.Remove(0, 42)
+	if s.Contains(0, 42) {
+		t.Error("set contains 42 after remove")
+	}
+	want := []int{1, 7, 99, 100}
+	if got := s.Elements(); !equalInts(got, want) {
+		t.Errorf("Elements() = %v, want %v", got, want)
+	}
+}
+
+// TestHashSetConcurrentCanonical: concurrent churn must leave the
+// composite memory canonical at quiescence, for whatever key set landed
+// (rare RspFull rejections shrink it but cannot break canonicity).
+func TestHashSetConcurrentCanonical(t *testing.T) {
+	const n, domain, perProc = 8, 200, 20
+	s := shard.NewHashSet(n, domain, 4)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				key := pid*perProc + i + 1
+				if s.Insert(pid, key) == hihash.RspFull {
+					continue
+				}
+				if i%2 == 1 {
+					s.Remove(pid, key)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	got := s.Elements()
+	canon := shard.CanonicalHashSetSnapshot(domain, s.NumShards(), got)
+	if snap := s.Snapshot(); snap != canon {
+		t.Fatalf("composite memory not canonical at quiescence:\n got:  %s\n want: %s", snap, canon)
+	}
+}
+
+// TestHashSetMatchesUniversalBackend: the two backends implement the same
+// abstract set — identical operation sequences must yield identical
+// element sets (when no RspFull occurs).
+func TestHashSetMatchesUniversalBackend(t *testing.T) {
+	const domain, nShards = 64, 4
+	uni := shard.NewSet(1, domain, nShards)
+	hash := shard.NewHashSet(1, domain, nShards)
+	script := []struct {
+		insert bool
+		key    int
+	}{
+		{true, 5}, {true, 17}, {true, 5}, {false, 17}, {true, 60},
+		{true, 31}, {false, 5}, {true, 2}, {true, 17},
+	}
+	for _, st := range script {
+		if st.insert {
+			uni.Insert(0, st.key)
+			if rsp := hash.Insert(0, st.key); rsp != 0 {
+				t.Fatalf("hash backend rejected Insert(%d): %d", st.key, rsp)
+			}
+		} else {
+			uni.Remove(0, st.key)
+			hash.Remove(0, st.key)
+		}
+	}
+	if a, b := uni.Elements(), hash.Elements(); !equalInts(a, b) {
+		t.Fatalf("backends diverge: universal %v, hihash %v", a, b)
+	}
+}

@@ -32,17 +32,15 @@ import (
 
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
+	"hiconc/internal/hihash"
 	"hiconc/internal/spec"
 )
 
-// ShardOf returns the shard (0..nShards-1) responsible for key, using a
-// fixed splitmix64-style mixer so that contiguous key ranges spread evenly.
+// ShardOf returns the shard (0..nShards-1) responsible for key. It is
+// the same splitmix64-style mixer as hihash.GroupOf (delegated, so the
+// two can never drift apart), spreading contiguous key ranges evenly.
 func ShardOf(key, nShards int) int {
-	z := uint64(key) + 0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return int(z % uint64(nShards))
+	return hihash.GroupOf(key, nShards)
 }
 
 // slot locates one key: its shard and its element index inside the shard's
