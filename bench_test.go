@@ -356,6 +356,80 @@ func BenchmarkE21HashMap(b *testing.B) {
 	})
 }
 
+// --- E22: the unbounded HICHT — displacement and online resize ---
+
+// BenchmarkE22DisplaceLoadFactor measures the displacing table across
+// load factors relative to its initial capacity, 0.5 through 1.5: past
+// 1.0 the bounded table of E21 rejects inserts, the displacing one
+// spills into neighbouring groups and doubles its array online. The
+// bounded table and sync.Map anchor the comparison.
+func BenchmarkE22DisplaceLoadFactor(b *testing.B) {
+	const n, domain = 8, 8192
+	g0 := domain / 8 // initial capacity domain/2
+	mix := func(pid int) []core.Op {
+		return workload.NewGen(int64(pid)).SetZipf(8192, domain, 1.01, 0.1)
+	}
+	for _, lf := range []float64{0.5, 1.0, 1.5} {
+		load := int(lf * float64(g0) * hihash.SlotsPerGroup)
+		b.Run(fmt.Sprintf("load=%.1f/displace", lf), func(b *testing.B) {
+			s := hihash.NewDisplaceSet(domain, g0)
+			for k := 1; k <= load; k++ {
+				s.Insert(k)
+			}
+			benchPerKey(b, s, n, mix)
+		})
+		b.Run(fmt.Sprintf("load=%.1f/bounded", lf), func(b *testing.B) {
+			s := hihash.NewSet(domain, g0)
+			for k := 1; k <= load; k++ {
+				s.Insert(k) // rejects silently above load 1.0 — E21's caveat
+			}
+			benchPerKey(b, s, n, mix)
+		})
+		b.Run(fmt.Sprintf("load=%.1f/syncmap", lf), func(b *testing.B) {
+			s := conc.NewSyncMapSet()
+			for k := 1; k <= load; k++ {
+				s.Apply(0, core.Op{Name: spec.OpInsert, Arg: k})
+			}
+			benchPerKey(b, s, n, mix)
+		})
+	}
+}
+
+// BenchmarkE22ResizeUnderLoad fills the whole domain from 8 goroutines
+// into a displacing table that starts 64x too small, so the cooperative
+// migration runs several times mid-storm; the pre-sized variant is the
+// no-resize ceiling and the gap between them is the amortized resize
+// cost.
+func BenchmarkE22ResizeUnderLoad(b *testing.B) {
+	const n, domain = 8, 16384
+	storm := func(b *testing.B, mk func() conc.Applier) {
+		for i := 0; i < b.N; i++ {
+			a := mk()
+			var wg sync.WaitGroup
+			per := domain / n
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						a.Apply(pid, core.Op{Name: spec.OpInsert, Arg: pid*per + j + 1})
+					}
+				}(pid)
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("displace/G0=16", func(b *testing.B) {
+		storm(b, func() conc.Applier { return hihash.NewDisplaceSet(domain, 16) })
+	})
+	b.Run("displace/presized", func(b *testing.B) {
+		storm(b, func() conc.Applier { return hihash.NewDisplaceSet(domain, domain/2) })
+	})
+	b.Run("syncmap", func(b *testing.B) {
+		storm(b, func() conc.Applier { return conc.NewSyncMapSet() })
+	})
+}
+
 // --- R-LLSC cell primitives (Algorithm 6's native port) ---
 
 func BenchmarkCellLLSC(b *testing.B) {

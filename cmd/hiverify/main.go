@@ -3,7 +3,8 @@
 // for SWSR registers, the Section 5.1 positive results (max register, set),
 // the universal construction of Section 6 with its ablations, the
 // Algorithm 6 R-LLSC properties, and the HICHT hash table of
-// internal/hihash.
+// internal/hihash — both the bounded group-word design (E21) and the
+// unbounded displacing, online-resizing one (E22).
 //
 // Usage:
 //
@@ -32,7 +33,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21) or 'all'")
+	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21,E22) or 'all'")
 	deepFlag = flag.Bool("deep", false, "use deeper exploration bounds (slower)")
 )
 
@@ -73,6 +74,7 @@ func runSelected() bool {
 	run("E14", "Section 5.1: max register and set positive results", runE14)
 	run("E15", "Baseline: the Fatourou-Kallimanis-style universal construction is not HI", runE15)
 	run("E21", "HICHT hash table: perfect HI and linearizable; append ablation refuted", runE21)
+	run("E22", "Unbounded HICHT: displacement + online resize are SQHI and linearizable; perfect HI provably lost", runE22)
 
 	return !failed
 }
@@ -352,6 +354,101 @@ func runE21() error {
 		return fmt.Errorf("append ablation: expected a sequential HI violation, got %v", err)
 	}
 	fmt.Printf("    append-order ablation REFUTED(expected): %v\n", v)
+	return nil
+}
+
+func runE22() error {
+	// The unbounded HICHT: cross-group Robin Hood displacement with
+	// helped relocations, and an online resize. A relocation spans two
+	// group words, so adjacent canonical layouts differ in >= 2 base
+	// objects and Proposition 6 forbids perfect HI — the checker first
+	// exhibits that witness, then verifies the class the HICHT paper
+	// actually proves: state-quiescent HI plus linearizability, over
+	// displacement races and schedules that cross a resize.
+	p := hihash.Params{T: 3, G: 2, B: 1}
+	h := hihash.NewDisplaceHarness(p, 2, hihash.DisplaceCanonical)
+	c, err := hicheck.BuildCanon(h, 3, 4000)
+	if err != nil {
+		return err
+	}
+	ins := func(v int) core.Op { return core.Op{Name: spec.OpInsert, Arg: v} }
+	rem := func(v int) core.Op { return core.Op{Name: spec.OpRemove, Arg: v} }
+	look := func(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+	grow := core.Op{Name: spec.OpGrow}
+
+	if d := c.MaxCanonDistance(); d < 2 {
+		return fmt.Errorf("canonical distance %d; displacement should force >= 2", d)
+	} else {
+		fmt.Printf("    canonical distance %d > 1: perfect HI impossible (Proposition 6)\n", d)
+	}
+	refute := [][][]core.Op{{{ins(1)}, {ins(2)}}, {{ins(1), rem(1)}, {ins(2)}}}
+	if v := hicheck.FindViolation(c, h, refute, hicheck.Perfect, 22, 400000); v == nil {
+		return errors.New("no perfect-HI witness found")
+	} else {
+		fmt.Printf("    perfect HI            REFUTED(expected): %v\n", v)
+	}
+
+	scripts := [][][]core.Op{
+		{{ins(1)}, {ins(2)}},
+		{{ins(1), rem(1)}, {ins(2)}},
+		{{ins(1), look(2)}, {ins(2)}},
+	}
+	resizeScripts := [][][]core.Op{
+		{{grow}, {ins(1)}},
+		{{ins(1), grow}, {ins(2)}},
+		{{ins(1), grow}, {rem(1)}},
+		{{grow, look(1)}, {ins(1)}},
+	}
+	ms := depth(18, 26)
+	n1, err := hicheck.CheckExhaustive(c, h, scripts, hicheck.StateQuiescent, ms, 400000, true)
+	if err != nil && !errors.Is(err, sim.ErrBudget) {
+		return fmt.Errorf("%s: %w", h.Name, err)
+	}
+	n2, err := hicheck.CheckExhaustive(c, h, resizeScripts, hicheck.StateQuiescent, depth(20, 28), 400000, true)
+	if err != nil && !errors.Is(err, sim.ErrBudget) {
+		return fmt.Errorf("%s resize: %w", h.Name, err)
+	}
+	fmt.Printf("    state-quiescent HI + linearizability PASS (%d displacement + %d mid-resize interleavings)\n", n1, n2)
+	if err := hicheck.CheckRandom(c, h, scripts, hicheck.StateQuiescent, depth(120, 500), 31, 5000, true); err != nil {
+		return fmt.Errorf("%s fuzz: %w", h.Name, err)
+	}
+	if err := hicheck.CheckRandom(c, h, resizeScripts, hicheck.StateQuiescent, depth(120, 500), 97, 6000, true); err != nil {
+		return fmt.Errorf("%s resize fuzz: %w", h.Name, err)
+	}
+	fmt.Println("    random-schedule fuzz (including resize crossings)   PASS")
+
+	// Wide groups (B=2): a group can hold a marked key next to a larger
+	// unmarked one — the state class where relocation helping is
+	// subtlest (see whitebox_test.go's parked-mark regression) and which
+	// B=1 groups cannot express. Keys 2, 4, 5 share home group 0 here.
+	pw := hihash.Params{T: 5, G: 2, B: 2}
+	hw := hihash.NewDisplaceHarness(pw, 2, hihash.DisplaceCanonical)
+	cw, err := hicheck.BuildCanon(hw, 3, 6000)
+	if err != nil {
+		return fmt.Errorf("%s: %w", hw.Name, err)
+	}
+	wide := [][][]core.Op{
+		{{ins(2), ins(4)}, {ins(5)}},
+		{{ins(4), ins(5)}, {ins(2), rem(4)}},
+	}
+	nw, err := hicheck.CheckExhaustive(cw, hw, wide, hicheck.StateQuiescent, depth(18, 24), 300000, true)
+	if err != nil && !errors.Is(err, sim.ErrBudget) {
+		return fmt.Errorf("%s: %w", hw.Name, err)
+	}
+	if err := hicheck.CheckRandom(cw, hw, wide, hicheck.StateQuiescent, depth(80, 400), 53, 4000, true); err != nil {
+		return fmt.Errorf("%s fuzz: %w", hw.Name, err)
+	}
+	fmt.Printf("    wide groups (B=2, marked-next-to-larger states)     PASS (%d interleavings + fuzz)\n", nw)
+
+	// The no-backward-shift ablation must be refuted sequentially: the
+	// slot a key ends in would depend on the deletion history.
+	ha := hihash.NewDisplaceHarness(p, 2, hihash.DisplaceNoShift)
+	_, err = hicheck.BuildCanon(ha, 3, 4000)
+	var v *hicheck.SeqHIViolation
+	if !errors.As(err, &v) {
+		return fmt.Errorf("no-shift ablation: expected a sequential HI violation, got %v", err)
+	}
+	fmt.Printf("    no-backward-shift ablation REFUTED(expected): %v\n", v)
 	return nil
 }
 

@@ -48,10 +48,12 @@
 //     multi-counter, plus the simulator harness that machine-checks the
 //     composition, and the hihash-backed direct-table variant (HashSet);
 //   - internal/hihash — the HICHT subsystem: a lock-free hash table whose
-//     fixed-capacity bucket groups are single CAS words holding keys in
-//     canonical priority order, giving perfect HI with no serialization
-//     point; shipped as a machine-checked simulated twin and a native
-//     sync/atomic port (Set, Map);
+//     bucket groups are single CAS words holding keys in canonical
+//     priority order, with no serialization point. The bounded variant is
+//     perfectly HI; the unbounded variant adds cross-group Robin Hood
+//     displacement (marked, helped relocations) and online resize, and is
+//     state-quiescent HI — both shipped as machine-checked simulated
+//     twins and native sync/atomic ports (Set, Map);
 //   - internal/obj — the user-facing objects (Counter, Register,
 //     MaxRegister, Queue, Stack, Set, ShardedSet, ShardedMap, HashSet,
 //     HashMap);

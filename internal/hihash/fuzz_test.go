@@ -1,0 +1,105 @@
+package hihash_test
+
+// The hihash spec fuzzers: go test -fuzz=FuzzDisplacedLayout (or
+// FuzzDisplaceSetOps) ./internal/hihash. The seed corpora run as plain
+// tests, and CI runs each fuzzer briefly (-fuzztime) as a smoke.
+
+import (
+	"testing"
+
+	"hiconc/internal/hihash"
+)
+
+// FuzzDisplacedLayout feeds arbitrary operation strings to the
+// sequential displaced model and checks the canonical-layout property:
+// whatever the history, the layout equals DisplacedGroups of the
+// surviving key set, every key is findable by the probe rule, and no key
+// is duplicated.
+func FuzzDisplacedLayout(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(3), uint8(2))
+	f.Add([]byte{7, 1, 7, 130, 9, 9, 2}, uint8(4), uint8(1))
+	f.Add([]byte{255, 0, 13, 40, 41, 42, 170, 5}, uint8(5), uint8(4))
+	f.Fuzz(func(t *testing.T, ops []byte, gRaw, bRaw uint8) {
+		p := hihash.Params{T: 24, G: int(gRaw%6) + 2, B: int(bRaw%4) + 1}
+		m := newSeqModel(p)
+		live := map[int]bool{}
+		for _, b := range ops {
+			key := int(b%uint8(p.T)) + 1
+			if b >= 128 {
+				if countKeys(m.layout) >= p.G*p.B && !live[key] {
+					continue // at capacity: skip the insert, as the table would
+				}
+				m.insert(key)
+				live[key] = true
+			} else {
+				m.remove(key)
+				delete(live, key)
+			}
+		}
+		var elems []int
+		for k := range live {
+			elems = append(elems, k)
+		}
+		want := hihash.DisplacedGroups(p, elems)
+		if !layoutEqual(m.layout, want) {
+			t.Fatalf("history-dependent layout for %v:\n got:  %v\n want: %v", elems, m.layout, want)
+		}
+		// Probe-rule reachability: every key findable scanning from home
+		// until a non-full group.
+		for k := range live {
+			g := hihash.GroupOf(k, p.G)
+			found := false
+			for d := 0; d < p.G; d++ {
+				if inSet(m.layout[g], k) {
+					found = true
+					break
+				}
+				if len(m.layout[g]) < p.B {
+					break
+				}
+				g = (g + 1) % p.G
+			}
+			if !found {
+				t.Fatalf("key %d unreachable by probe rule in %v", k, m.layout)
+			}
+		}
+	})
+}
+
+// FuzzDisplaceSetOps replays arbitrary operation strings against the
+// native displacing table (with growth pinned small so resizes trigger)
+// and a plain map model: membership answers and the final canonical
+// snapshot must match.
+func FuzzDisplaceSetOps(f *testing.F) {
+	f.Add([]byte{200, 201, 202, 13, 200, 140})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 129, 1, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const domain = 40
+		s := hihash.NewDisplaceSet(domain, 2)
+		model := map[int]bool{}
+		for _, b := range ops {
+			key := int(b%domain) + 1
+			switch {
+			case b >= 170:
+				if rsp := s.Insert(key); rsp != 0 {
+					t.Fatalf("Insert(%d) = %d", key, rsp)
+				}
+				model[key] = true
+			case b >= 85:
+				s.Remove(key)
+				delete(model, key)
+			default:
+				if got, want := s.Contains(key), model[key]; got != want {
+					t.Fatalf("Contains(%d) = %v, want %v", key, got, want)
+				}
+			}
+		}
+		var elems []int
+		for k := range model {
+			elems = append(elems, k)
+		}
+		if got, want := s.Snapshot(), hihash.CanonicalSetSnapshot(domain, s.NumGroups(), elems); got != want {
+			t.Fatalf("final memory not canonical:\n got:  %s\n want: %s", got, want)
+		}
+	})
+}

@@ -4,43 +4,44 @@
 // Farach-Colton, Oshman, Schiller; arXiv:2503.21016), carried out in the
 // SQHI framework of the source PODC 2024 paper.
 //
-// The table is a fixed-capacity array of G bucket groups of B slots each;
-// a key k probes exactly one group, GroupOf(k, G). The design invariant is
-// a canonical layout: within its group a key occupies the slot determined
-// solely by priority order (ascending key order, empties packed high), so
-// the memory representation is a pure function of the current key set —
-// never of the insertion or deletion order. Deletion is tombstone-free:
-// removing a key immediately restores the canonical layout of the group.
+// The table is an array of G bucket groups of B slots each; a key k homes
+// at group GroupOf(k, G) and probes the cyclic run GroupOf(k, G),
+// GroupOf(k, G)+1, ... The design invariant is a canonical layout: the
+// placement of every key is determined solely by the current key set,
+// never by the insertion or deletion order. Two disciplines coexist:
 //
-// The concurrency scheme is the crux. A whole group — all B slots — lives
-// in one CAS word, so every relocation that an insert or a tombstone-free
-// delete requires (shifting keys to keep the priority order) is folded
-// into a single atomic compare-and-swap. Operations are lock-free
-// single-word CAS retry loops and lookups are a single atomic load. As a
-// consequence the table is not merely state-quiescent HI like the
-// universal construction of Algorithm 5: every reachable configuration,
-// including configurations with update operations mid-flight, holds a
-// canonical memory — the table is perfectly history independent
-// (Definition 5). This does not contradict Theorem 13: a set's operations
-// return too few distinct responses to place it in the class C_t, exactly
-// the escape hatch the paper exploits for the binary-register set of
-// Section 5.1. The hihash table is the CAS-word, hash-partitioned
-// production analogue of that construction.
+//   - Bounded (the PR-2 stepping stone, retained): a key lives only in
+//     its home group, in ascending-key slot order. A whole group is one
+//     CAS word, so every relocation an insert or a tombstone-free delete
+//     requires is folded into a single atomic compare-and-swap, and the
+//     table is perfectly history independent (Definition 5) — every
+//     reachable configuration holds a canonical memory. The cost is
+//     fixed capacity: an insert into a full home group returns RspFull.
 //
-// Capacity is fixed at construction, as in open addressing: an insert
-// into a group that already holds B other keys returns RspFull and leaves
-// the state unchanged (a deterministic response of the bounded
-// specification, so history independence is preserved). Unbounded
-// cross-group displacement chains (full Robin Hood relocation) are future
-// work tracked in ROADMAP.md.
+//   - Displacing (unbounded): keys spill into neighbouring groups in
+//     ordered Robin Hood priority — smaller keys claim earlier groups of
+//     their probe run — so a home group can carry load factor above 1,
+//     and the group array grows online when probe runs get long. The
+//     canonical layout (DisplacedGroups) is the one ascending-order
+//     insertion produces, which is independent of the actual history.
+//     Cross-group relocation spans two CAS words, so it cannot be atomic:
+//     relocations plant per-slot marks, deletions plant a restore flag in
+//     the hole they open, and every operation helps complete the
+//     relocations it encounters. Perfect HI is provably out of reach for
+//     this variant — adjacent canonical layouts differ in two or more
+//     group words, which Proposition 6 forbids for single-word steps —
+//     and the checker refutes it with a concrete witness; the variant is
+//     state-quiescent HI (Definition 7), the class the HICHT paper itself
+//     proves, machine-checked together with linearizability.
 //
 // The package ships the subsystem in both of the repository's worlds:
 //
-//   - a simulated twin (NewSimHarness) driven through internal/sim and
-//     internal/harness, machine-checked by internal/hicheck for
-//     linearizability and for HI under the Perfect and StateQuiescent
-//     observation classes, plus an append-order ablation (VariantAppend)
-//     that the checker must refute;
+//   - simulated twins (NewSimHarness, NewDisplaceHarness) driven through
+//     internal/sim and internal/harness, machine-checked by
+//     internal/hicheck: the bounded twin for Perfect+StateQuiescent HI,
+//     the displacing twin for StateQuiescent HI + linearizability
+//     (including schedules that cross an online resize), plus ablations
+//     the checker must refute (VariantAppend and DisplaceNoShift);
 //   - a native port (Set, Map) over sync/atomic words, exposed through
 //     internal/obj as HashSet/HashMap and through internal/shard as the
 //     direct table backend replacing the per-shard universal construction.
@@ -147,10 +148,11 @@ func groupsOf(p Params, elems []int) [][]int {
 }
 
 // CanonicalGroups returns the canonical per-group encodings of the
-// abstract state elems under geometry p — the unique memory representation
-// the table holds whenever its key set is elems. It panics if elems does
-// not fit the geometry (some group over capacity), since such a state is
-// unreachable.
+// abstract state elems under geometry p for the bounded (non-displacing)
+// discipline — the unique memory representation the bounded table holds
+// whenever its key set is elems. It panics if elems does not fit the
+// geometry (some home group over capacity), since such a state is
+// unreachable for the bounded table.
 func CanonicalGroups(p Params, elems []int) []string {
 	p.Validate()
 	groups := groupsOf(p, elems)
@@ -162,4 +164,73 @@ func CanonicalGroups(p Params, elems []int) []string {
 		out[g] = EncodeGroup(keys)
 	}
 	return out
+}
+
+// DisplacedGroups returns the canonical displaced layout of the abstract
+// state elems under geometry p: the per-group sorted key lists that
+// ascending-order insertion with ordered Robin Hood displacement
+// produces. This is the unique memory representation of the displacing
+// table (BuildCanon machine-checks order independence); when no home
+// group holds more than B keys it coincides with the bounded layout of
+// CanonicalGroups. It panics if elems exceeds the total capacity G*B.
+func DisplacedGroups(p Params, elems []int) [][]int {
+	p.Validate()
+	sorted := append([]int(nil), elems...)
+	sort.Ints(sorted)
+	if len(sorted) > p.G*p.B {
+		panic(fmt.Sprintf("hihash: state %v exceeds capacity %d", elems, p.G*p.B))
+	}
+	layout := make([][]int, p.G)
+	for _, k := range sorted {
+		if k < 1 || k > p.T {
+			panic(fmt.Sprintf("hihash: element %d out of range 1..%d", k, p.T))
+		}
+		seqPlace(layout, p, k)
+	}
+	return layout
+}
+
+// seqPlace inserts key c into the sequential displaced layout: walk c's
+// probe run; take the first free slot; at a full group, a key smaller
+// than the group's maximum evicts it (the ordered Robin Hood priority)
+// and the evicted key continues the walk from the next group.
+func seqPlace(layout [][]int, p Params, c int) {
+	g := GroupOf(c, p.G)
+	for hops := 0; hops <= p.G*(p.B+1); hops++ {
+		keys := layout[g]
+		if idx := indexOf(keys, c); idx >= 0 {
+			return
+		}
+		if len(keys) < p.B {
+			layout[g] = insertSorted(keys, c)
+			return
+		}
+		if m := keys[len(keys)-1]; c < m {
+			layout[g] = insertSorted(keys[:len(keys)-1], c)
+			c = m
+		}
+		g = (g + 1) % p.G
+	}
+	panic("hihash: displaced placement did not terminate")
+}
+
+// probeCrosses reports whether key c, residing at group at, passed
+// through group through on its probe run — i.e. through lies strictly
+// before at in cyclic order starting at c's home group. It is the
+// condition deciding which displaced keys a backward shift may pull into
+// a freed slot.
+func probeCrosses(c, at, through, groups int) bool {
+	home := GroupOf(c, groups)
+	return (through-home+groups)%groups < (at-home+groups)%groups
+}
+
+// DisplacedSnapshot renders the canonical displaced layout of elems for a
+// (domain, nGroups) table in the Snapshot format of the native Set.
+func DisplacedSnapshot(domain, nGroups int, elems []int) string {
+	layout := DisplacedGroups(Params{T: domain, G: nGroups, B: SlotsPerGroup}, elems)
+	parts := make([]string, nGroups)
+	for g, keys := range layout {
+		parts[g] = fmt.Sprintf("g%d=%s", g, EncodeGroup(keys))
+	}
+	return strings.Join(parts, " | ")
 }

@@ -17,21 +17,60 @@ import (
 // every update replaces the bucket with a freshly built canonical slice
 // via one pointer CAS. The logical memory representation (Snapshot) is
 // therefore a pure function of the abstract state at every instant, and
-// reads are a single atomic load. Unlike Set there is no capacity bound:
-// buckets grow with their live key count.
+// reads are a single atomic load.
+//
+// Unlike Set there is no per-bucket capacity bound — buckets grow with
+// their live key count — but long buckets cost linear scans, so the
+// bucket array resizes online: when a bucket's entry list outgrows
+// bucketLimit the array doubles and the old buckets drain cooperatively
+// (freeze, then copy-initialize, exactly once per bucket) into the new
+// one. As with Set, the bucket count is a deterministic function of the
+// load the map has seen, so the representation stays a pure function of
+// (counts, current bucket count).
 //
 // It mirrors shard.Map's interface (Inc/Dec/Get with previous-count
 // responses) so the two backends are interchangeable in benchmarks, but
 // needs no per-process handles.
 type Map struct {
-	keys    int
-	buckets []atomic.Pointer[[]conc.KV]
+	keys int
+	st   atomic.Pointer[mapState]
+}
+
+// bucket is one immutable bucket value: a canonical sorted KV list, plus
+// the frozen flag the migration protocol sets on every old bucket before
+// any entry moves (a frozen bucket rejects updates, so its contents can
+// be copied exactly once).
+type bucket struct {
+	kvs    []conc.KV
+	frozen bool
+}
+
+// uninit is the sentinel value of a new-array bucket whose initial
+// contents (the frozen old entries hashing to it) have not been computed
+// yet. It is distinct from nil, which canonically encodes an empty
+// bucket.
+var uninit = &bucket{}
+
+// mapState is one geometry of the map, with migration bookkeeping.
+type mapState struct {
+	buckets []atomic.Pointer[bucket]
+	// prev is the frozen state being copied into this one; nil when
+	// migration is complete.
+	prev atomic.Pointer[mapState]
+	// left counts this state's buckets still uninitialized during a
+	// migration into it.
+	left atomic.Int64
 }
 
 var _ conc.Applier = (*Map)(nil)
 
+// bucketLimit is the bucket length that triggers an online doubling of
+// the bucket array.
+const bucketLimit = 8
+
 // NewMap creates a multi-counter over keys {1..keys} with nBuckets
-// buckets.
+// buckets; the bucket array doubles online when buckets outgrow
+// bucketLimit entries.
 func NewMap(keys, nBuckets int) *Map {
 	if keys < 1 {
 		panic(fmt.Sprintf("hihash: invalid key count %d", keys))
@@ -39,14 +78,16 @@ func NewMap(keys, nBuckets int) *Map {
 	if nBuckets < 1 {
 		panic(fmt.Sprintf("hihash: invalid bucket count %d", nBuckets))
 	}
-	return &Map{keys: keys, buckets: make([]atomic.Pointer[[]conc.KV], nBuckets)}
+	m := &Map{keys: keys}
+	m.st.Store(&mapState{buckets: make([]atomic.Pointer[bucket], nBuckets)})
+	return m
 }
 
 // Name implements conc.Applier.
-func (m *Map) Name() string { return fmt.Sprintf("hihash-map[g=%d]", len(m.buckets)) }
+func (m *Map) Name() string { return fmt.Sprintf("hihash-map[g=%d]", m.NumBuckets()) }
 
-// NumBuckets returns the bucket count.
-func (m *Map) NumBuckets() int { return len(m.buckets) }
+// NumBuckets returns the current bucket count.
+func (m *Map) NumBuckets() int { return len(m.st.Load().buckets) }
 
 func (m *Map) checkKey(key int) {
 	if key < 1 || key > m.keys {
@@ -54,18 +95,40 @@ func (m *Map) checkKey(key int) {
 	}
 }
 
-// load returns the bucket's canonical KV slice (nil when empty).
-func (m *Map) load(b int) []conc.KV {
-	if p := m.buckets[b].Load(); p != nil {
-		return *p
+// kvsOf returns the canonical KV list of bucket b in st, nil when empty
+// or uninitialized.
+func kvsOf(st *mapState, b int) []conc.KV {
+	if p := st.buckets[b].Load(); p != nil {
+		return p.kvs
 	}
 	return nil
 }
 
-// Get returns key's current count with a single atomic load.
+// Get returns key's current count. During a migration an uninitialized
+// new bucket defers to the frozen old array, so reads never block on the
+// copy.
 func (m *Map) Get(key int) int {
 	m.checkKey(key)
-	for _, kv := range m.load(GroupOf(key, len(m.buckets))) {
+	for {
+		st := m.st.Load()
+		b := GroupOf(key, len(st.buckets))
+		p := st.buckets[b].Load()
+		if p == uninit {
+			old := st.prev.Load()
+			if old == nil {
+				continue
+			}
+			return lookupKV(kvsOf(old, GroupOf(key, len(old.buckets))), key)
+		}
+		if p == nil {
+			return 0
+		}
+		return lookupKV(p.kvs, key)
+	}
+}
+
+func lookupKV(kvs []conc.KV, key int) int {
+	for _, kv := range kvs {
 		if kv.K == key {
 			return kv.V
 		}
@@ -73,15 +136,26 @@ func (m *Map) Get(key int) int {
 	return 0
 }
 
-// add applies delta to key's count and returns the previous count.
+// add applies delta to key's count and returns the previous count,
+// helping any migration initialize the key's bucket first.
 func (m *Map) add(key, delta int) int {
 	m.checkKey(key)
-	b := GroupOf(key, len(m.buckets))
 	for {
-		old := m.buckets[b].Load()
+		st := m.st.Load()
+		b := GroupOf(key, len(st.buckets))
+		old := st.buckets[b].Load()
+		if old == uninit {
+			m.initBucket(st, b)
+			continue
+		}
+		if old != nil && old.frozen {
+			// This state is being drained into a larger one; move over.
+			m.helpGrow(st)
+			continue
+		}
 		var kvs []conc.KV
 		if old != nil {
-			kvs = *old
+			kvs = old.kvs
 		}
 		i := 0
 		for i < len(kvs) && kvs[i].K < key {
@@ -103,13 +177,16 @@ func (m *Map) add(key, delta int) int {
 		} else {
 			out = append(out, kvs[i:]...)
 		}
-		// Canonical empty bucket is the nil pointer, never a pointer to an
-		// empty slice.
-		var repl *[]conc.KV
+		// Canonical empty bucket is the nil pointer, never a pointer to
+		// an empty list.
+		var repl *bucket
 		if len(out) > 0 {
-			repl = &out
+			repl = &bucket{kvs: out}
 		}
-		if m.buckets[b].CompareAndSwap(old, repl) {
+		if st.buckets[b].CompareAndSwap(old, repl) {
+			if len(out) > bucketLimit {
+				m.grow(st)
+			}
 			return cur
 		}
 	}
@@ -120,6 +197,132 @@ func (m *Map) Inc(key int) int { return m.add(key, 1) }
 
 // Dec decrements key's count, returning the previous count.
 func (m *Map) Dec(key int) int { return m.add(key, -1) }
+
+// Grow doubles the bucket array (migrating all entries) and returns when
+// the migration is complete.
+func (m *Map) Grow() { m.grow(m.st.Load()) }
+
+// grow doubles the bucket array if st is still current: freeze every old
+// bucket, publish the new state (all buckets uninitialized), then
+// initialize every new bucket from the frozen old entries. The frozen
+// old array is immutable, so initialization is a pure function and any
+// number of helpers may race it.
+func (m *Map) grow(st *mapState) {
+	cur := m.st.Load()
+	if p := cur.prev.Load(); p != nil {
+		m.finishGrow(cur, p)
+	}
+	if cur != st {
+		return
+	}
+	if len(cur.buckets) >= m.keys {
+		// At one bucket per possible key further doubling cannot shorten
+		// buckets (collisions are collisions); refuse, like Set's
+		// maxGroups cap, so adversarial hashes cannot drive runaway
+		// growth.
+		return
+	}
+	// Freeze the old buckets so their contents are final.
+	for b := range cur.buckets {
+		for {
+			p := cur.buckets[b].Load()
+			if p != nil && p.frozen {
+				break
+			}
+			var kvs []conc.KV
+			if p != nil {
+				kvs = p.kvs
+			}
+			if cur.buckets[b].CompareAndSwap(p, &bucket{kvs: kvs, frozen: true}) {
+				break
+			}
+		}
+	}
+	next := &mapState{buckets: make([]atomic.Pointer[bucket], 2*len(cur.buckets))}
+	for b := range next.buckets {
+		next.buckets[b].Store(uninit)
+	}
+	next.left.Store(int64(len(next.buckets)))
+	next.prev.Store(cur)
+	if m.st.CompareAndSwap(cur, next) {
+		m.finishGrow(next, cur)
+	} else {
+		m.helpGrow(m.st.Load())
+	}
+}
+
+// helpGrow pushes an in-flight migration forward (or starts the grow a
+// frozen bucket implies if the new state is not yet published).
+func (m *Map) helpGrow(st *mapState) {
+	cur := m.st.Load()
+	if p := cur.prev.Load(); p != nil {
+		m.finishGrow(cur, p)
+		return
+	}
+	if cur == st {
+		// Frozen buckets but no successor yet: a grow is between freeze
+		// and publish; retrying the caller's loop lets it land.
+		m.grow(st)
+	}
+}
+
+// finishGrow initializes every uninitialized bucket of next from the
+// frozen old state, then detaches prev.
+func (m *Map) finishGrow(next, old *mapState) {
+	for b := range next.buckets {
+		m.initFrom(next, old, b)
+	}
+	if next.left.Load() == 0 {
+		next.prev.CompareAndSwap(old, nil)
+	}
+}
+
+// initBucket initializes one uninitialized bucket of st during a
+// migration.
+func (m *Map) initBucket(st *mapState, b int) {
+	old := st.prev.Load()
+	if old == nil {
+		return
+	}
+	m.initFrom(st, old, b)
+	if st.left.Load() == 0 {
+		st.prev.CompareAndSwap(old, nil)
+	}
+}
+
+// initFrom computes new bucket b's canonical initial contents — the
+// frozen old entries hashing to it — and installs them with a single
+// CAS from the uninit sentinel. Losing the CAS means another helper
+// installed the identical value.
+func (m *Map) initFrom(next, old *mapState, b int) {
+	if next.buckets[b].Load() != uninit {
+		return
+	}
+	var kvs []conc.KV
+	for ob := range old.buckets {
+		for _, kv := range kvsOf(old, ob) {
+			if GroupOf(kv.K, len(next.buckets)) == b {
+				kvs = append(kvs, kv)
+			}
+		}
+	}
+	sortKVs(kvs)
+	var repl *bucket
+	if len(kvs) > 0 {
+		repl = &bucket{kvs: kvs}
+	}
+	if next.buckets[b].CompareAndSwap(uninit, repl) {
+		next.left.Add(-1)
+	}
+}
+
+func sortKVs(kvs []conc.KV) {
+	for i := 1; i < len(kvs); i++ {
+		for j := i; j > 0 && kvs[j].K < kvs[j-1].K; j-- {
+			kvs[j], kvs[j-1] = kvs[j-1], kvs[j]
+		}
+	}
+}
 
 // Apply implements conc.Applier (the pid is unused).
 func (m *Map) Apply(_ int, op core.Op) int {
@@ -139,20 +342,47 @@ func (m *Map) Apply(_ int, op core.Op) int {
 // atomic but the composite read is not; call it only at quiescence.
 func (m *Map) Counts() map[int]int {
 	out := map[int]int{}
-	for b := range m.buckets {
-		for _, kv := range m.load(b) {
-			out[kv.K] = kv.V
+	st := m.st.Load()
+	old := st.prev.Load()
+	for b := range st.buckets {
+		p := st.buckets[b].Load()
+		if p == uninit {
+			continue
+		}
+		if p != nil {
+			for _, kv := range p.kvs {
+				out[kv.K] = kv.V
+			}
+		}
+	}
+	if old != nil {
+		for b := range old.buckets {
+			for _, kv := range kvsOf(old, b) {
+				if st.buckets[GroupOf(kv.K, len(st.buckets))].Load() == uninit {
+					out[kv.K] = kv.V
+				}
+			}
 		}
 	}
 	return out
 }
 
 // Snapshot renders the logical memory representation: every bucket's
-// canonical KV list.
+// canonical KV list. At quiescence (migration complete) it equals
+// CanonicalMapSnapshot of the current counts and bucket count.
 func (m *Map) Snapshot() string {
-	parts := make([]string, len(m.buckets))
-	for b := range m.buckets {
-		parts[b] = fmt.Sprintf("g%d=%s", b, encodeKVs(m.load(b)))
+	st := m.st.Load()
+	parts := make([]string, len(st.buckets))
+	for b := range st.buckets {
+		p := st.buckets[b].Load()
+		switch {
+		case p == uninit:
+			parts[b] = fmt.Sprintf("g%d=?", b)
+		case p == nil:
+			parts[b] = fmt.Sprintf("g%d={}", b)
+		default:
+			parts[b] = fmt.Sprintf("g%d=%s", b, encodeKVs(p.kvs))
+		}
 	}
 	return strings.Join(parts, " | ")
 }

@@ -1,0 +1,150 @@
+package hihash
+
+// Online resize of the displacing table.
+//
+// grow publishes a fresh tableState with twice the groups whose prev
+// pointer holds the old state, then drains every old group into the new
+// array. Draining is cooperative and idempotent: each key is placed in
+// the new table first (destination first, so the key is findable at
+// every instant) and only then dropped from its old group; a fully
+// drained group is stamped with the gone sentinel. Every update
+// operation entering the table drives the whole drain to completion
+// before operating (current), which pins two invariants at once: an
+// update's key can never hide in the old array when the update decides,
+// and the new array cannot overfill while the old one still holds keys
+// (a second grow cannot start before the first finishes). Lookups stay
+// read-only and scan the old array source-first instead. When every old
+// group is stamped gone, prev is detached and the resize is over.
+//
+// The operation that triggered the grow drains the whole old array
+// before returning, so a completed resize cannot leave a half-migrated
+// table behind at quiescence: the memory at every update-quiescent
+// configuration is the canonical displaced layout of the new geometry.
+//
+// Capacity grows only (no shrink): the group count is a deterministic
+// function of the insert pressure the table has seen, so the memory
+// representation is a pure function of (key set, current capacity). The
+// capacity itself reveals at most the high-watermark of the table's
+// load — the standard residual leak of grow-only history-independent
+// hash tables, stated in DESIGN.md.
+
+// maxGroupsFactor caps growth at roughly four slots per domain key:
+// beyond that no insert can fail for lack of room (keys are distinct and
+// at most domain of them exist), so further doubling would only burn
+// memory and drain sweeps.
+const maxGroupsFactor = 4
+
+// maxGroups is the growth ceiling for this table's domain.
+func (s *Set) maxGroups() int {
+	mg := (maxGroupsFactor*s.domain + SlotsPerGroup - 1) / SlotsPerGroup
+	if mg < 1 {
+		mg = 1
+	}
+	return mg
+}
+
+// Grow doubles the displacing table's group array (migrating all
+// resident keys) and returns when the migration is complete. It is a
+// no-op for the bounded table, whose geometry is fixed.
+func (s *Set) Grow() {
+	if !s.displaced {
+		return
+	}
+	s.grow(s.st.Load())
+}
+
+// grow doubles the group array if st is still the current state,
+// finishing any migration already in flight first. All callers observe
+// a fully drained table on return.
+func (s *Set) grow(st *tableState) {
+	cur := s.st.Load()
+	if p := cur.prev.Load(); p != nil {
+		s.drainAll(p, cur)
+	}
+	if cur != st {
+		// Someone already grew past the state we judged too small.
+		return
+	}
+	if len(cur.groups) >= s.maxGroups() {
+		// At the ceiling every key fits with room to spare; a walk that
+		// still reported full was a transient of in-flight relocation
+		// copies and resolves on retry.
+		return
+	}
+	next := newTableState(2 * len(cur.groups))
+	next.prev.Store(cur)
+	if s.st.CompareAndSwap(cur, next) {
+		s.drainAll(cur, next)
+	} else if p := s.st.Load().prev.Load(); p != nil {
+		s.drainAll(p, s.st.Load())
+	}
+}
+
+// current returns the table state an update must operate in, driving
+// any in-flight migration to completion first (see the package comment
+// for why updates pay for the whole drain).
+func (s *Set) current() *tableState {
+	for {
+		st := s.st.Load()
+		p := st.prev.Load()
+		if p == nil {
+			return st
+		}
+		s.drainAll(p, st)
+		if s.st.Load() == st {
+			return st
+		}
+	}
+}
+
+// drainAll drains every old group into cur, then detaches prev —
+// drainGroup returns only once its group is stamped gone, so after the
+// sweep the old array is certainly empty.
+func (s *Set) drainAll(p *tableState, cur *tableState) {
+	for g := range p.groups {
+		s.drainGroup(p, g, cur)
+	}
+	cur.prev.CompareAndSwap(p, nil)
+}
+
+// drainGroup moves every key of old group g into the current table and
+// stamps the group gone. Restore flags are dropped (the old layout no
+// longer needs repairing) and marked keys are moved like plain ones (the
+// migration supersedes their old-array relocation; placement in the new
+// table is idempotent, so racing helpers are harmless).
+func (s *Set) drainGroup(p *tableState, g int, cur *tableState) {
+	for {
+		w := p.groups[g].Load()
+		if w == gone {
+			return
+		}
+		if wordFlags(w) > 0 {
+			p.groups[g].CompareAndSwap(w, wordReplace(w, flagSlot, 0))
+			continue
+		}
+		var sl uint64
+		for i := 0; i < SlotsPerGroup; i++ {
+			if v := slotAt(w, i); v != 0 {
+				sl = v
+				break
+			}
+		}
+		if sl == 0 {
+			p.groups[g].CompareAndSwap(w, gone)
+			continue
+		}
+		key := int(sl & slotKey)
+		// Destination first: the key must live in the new table before
+		// its old copy disappears.
+		if rs, _ := s.placeKey(cur, key, -1); rs != wsDone {
+			// wsFull cannot normally happen (the new array is twice the
+			// old), and wsRestart means cur itself was resized — reload
+			// and retry via the caller's loop.
+			if rs == wsRestart {
+				cur = s.st.Load()
+			}
+			continue
+		}
+		p.groups[g].CompareAndSwap(w, wordReplace(w, sl, 0))
+	}
+}

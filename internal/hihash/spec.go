@@ -104,3 +104,105 @@ func StateElems(state string) []int {
 	}
 	return out
 }
+
+// DisplaceSpec is the sequential specification of the displacing,
+// resizable hash table: a set over {1..T} together with the table's
+// current level — 0 for the initial geometry (G groups), 1 after an
+// explicit grow operation doubled the group array. Because the level is
+// part of the abstract state, the memory representation stays a pure
+// function of the state: same key set at the same level, same canonical
+// displaced layout. States are encoded "<bits>|<level>". Displacement
+// makes every free slot reachable, so insert responds RspFull only when
+// the whole table is full at the current level.
+type DisplaceSpec struct {
+	// P is the level-0 geometry; level 1 doubles P.G.
+	P Params
+}
+
+var _ core.Spec = DisplaceSpec{}
+
+// NewDisplaceSpec returns the displacing hash-table specification for
+// level-0 geometry p.
+func NewDisplaceSpec(p Params) DisplaceSpec {
+	p.Validate()
+	return DisplaceSpec{P: p}
+}
+
+// Name implements core.Spec.
+func (s DisplaceSpec) Name() string { return fmt.Sprintf("hihash-displace[%v]", s.P) }
+
+// Init implements core.Spec: the empty table at level 0.
+func (s DisplaceSpec) Init() string { return strings.Repeat("0", s.P.T) + "|0" }
+
+// splitState decodes a spec state into its membership bits and level.
+func (s DisplaceSpec) splitState(state string) (string, int) {
+	if len(state) != s.P.T+2 || state[s.P.T] != '|' ||
+		(state[s.P.T+1] != '0' && state[s.P.T+1] != '1') {
+		panic("hihash: bad displace spec state " + state)
+	}
+	return state[:s.P.T], int(state[s.P.T+1] - '0')
+}
+
+// LevelGroups returns the group count at the given level.
+func (s DisplaceSpec) LevelGroups(level int) int { return s.P.G << level }
+
+// Apply implements core.Spec.
+func (s DisplaceSpec) Apply(state string, op core.Op) (string, int) {
+	bits, level := s.splitState(state)
+	if op.Name == spec.OpGrow {
+		// Growing an already-grown table is a no-op (the sim twin models
+		// one doubling).
+		return bits + "|1", 0
+	}
+	if op.Arg < 1 || op.Arg > s.P.T {
+		panic(fmt.Sprintf("hihash: displace spec op %v out of range 1..%d", op, s.P.T))
+	}
+	i := op.Arg - 1
+	member := bits[i] == '1'
+	suffix := state[s.P.T:]
+	switch op.Name {
+	case spec.OpInsert:
+		if member {
+			return state, 0
+		}
+		if strings.Count(bits, "1") >= s.LevelGroups(level)*s.P.B {
+			return state, RspFull
+		}
+		return bits[:i] + "1" + bits[i+1:] + suffix, 0
+	case spec.OpRemove:
+		if !member {
+			return state, 0
+		}
+		return bits[:i] + "0" + bits[i+1:] + suffix, 0
+	case spec.OpLookup:
+		if member {
+			return state, 1
+		}
+		return state, 0
+	default:
+		panic("hihash: displace spec: unknown op " + op.Name)
+	}
+}
+
+// ReadOnly implements core.Spec.
+func (s DisplaceSpec) ReadOnly(op core.Op) bool { return op.Name == spec.OpLookup }
+
+// Ops implements core.Spec.
+func (s DisplaceSpec) Ops(string) []core.Op {
+	ops := make([]core.Op, 0, 3*s.P.T+1)
+	for v := 1; v <= s.P.T; v++ {
+		ops = append(ops,
+			core.Op{Name: spec.OpInsert, Arg: v},
+			core.Op{Name: spec.OpRemove, Arg: v},
+			core.Op{Name: spec.OpLookup, Arg: v},
+		)
+	}
+	return append(ops, core.Op{Name: spec.OpGrow})
+}
+
+// DisplaceStateElems decodes a displace spec state into its sorted
+// elements and level.
+func (s DisplaceSpec) DisplaceStateElems(state string) ([]int, int) {
+	bits, level := s.splitState(state)
+	return StateElems(bits), level
+}

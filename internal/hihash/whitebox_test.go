@@ -1,0 +1,103 @@
+package hihash
+
+// White-box regression tests: states that only adversarial interleavings
+// reach are crafted directly into the group words, so the exact windows
+// the concurrent protocol must survive are pinned as deterministic
+// tests.
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlaceKeyParkedMarkNotMax pins the self-help recursion regression:
+// a marked key that is no longer its group's maximum (a larger key
+// claimed a slot freed while the mark was parked). A walk that outranks
+// the larger key helps the parked relocation; the helper's placement
+// walk must treat the key's own mark at the source group as invisible
+// and cancel the obsolete relocation in place — naively "helping" it
+// from its own completion path recursed forever and overflowed the
+// stack.
+func TestPlaceKeyParkedMarkNotMax(t *testing.T) {
+	const domain, G = 2000, 4
+	s := NewDisplaceSet(domain, G)
+	var ks []int
+	for k := 1; k <= domain && len(ks) < 5; k++ {
+		if GroupOf(k, G) == 0 {
+			ks = append(ks, k)
+		}
+	}
+	if len(ks) < 5 {
+		t.Fatalf("not enough keys homing at group 0: %v", ks)
+	}
+	x1, x2, c, mk, a := ks[0], ks[1], ks[2], ks[3], ks[4]
+	// The adversarial window, crafted directly: mk is marked (its
+	// eviction is parked) and a > mk occupies the slot a racing remove
+	// freed, so the marked key is not the group max.
+	st := s.st.Load()
+	crafted := [SlotsPerGroup]uint64{uint64(x1), uint64(x2), uint64(a), uint64(mk) | slotMark}
+	st.groups[0].Store(packWord(&crafted, 4))
+	done := make(chan int, 1)
+	go func() { done <- s.Insert(c) }()
+	select {
+	case rsp := <-done:
+		if rsp != 0 {
+			t.Fatalf("Insert(%d) = %d", c, rsp)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Insert wedged helping a parked, outranked mark")
+	}
+	// The cancel-in-place resolution must leave every key present and
+	// the layout canonical.
+	want := []int{x1, x2, c, mk, a}
+	for _, k := range want {
+		if !s.Contains(k) {
+			t.Fatalf("Contains(%d) = false after recovery", k)
+		}
+	}
+	if got, canon := s.Snapshot(), CanonicalSetSnapshot(domain, s.NumGroups(), want); got != canon {
+		t.Fatalf("memory not canonical after recovery:\n got:  %s\n want: %s", got, canon)
+	}
+}
+
+// TestRemoveWithParkedOutrankedMark drives Remove through the same
+// crafted window: removing the marked key itself, and removing a plain
+// resident, must both resolve the parked relocation rather than spin or
+// resurrect.
+func TestRemoveWithParkedOutrankedMark(t *testing.T) {
+	const domain, G = 2000, 4
+	var ks []int
+	for k := 1; k <= domain && len(ks) < 5; k++ {
+		if GroupOf(k, G) == 0 {
+			ks = append(ks, k)
+		}
+	}
+	x1, x2, mk, a := ks[0], ks[1], ks[3], ks[4]
+	craft := func() *Set {
+		s := NewDisplaceSet(domain, G)
+		crafted := [SlotsPerGroup]uint64{uint64(x1), uint64(x2), uint64(a), uint64(mk) | slotMark}
+		s.st.Load().groups[0].Store(packWord(&crafted, 4))
+		return s
+	}
+	for _, victim := range []int{mk, x1, a} {
+		s := craft()
+		done := make(chan int, 1)
+		go func() { done <- s.Remove(victim) }()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("Remove(%d) wedged on the parked mark", victim)
+		}
+		if s.Contains(victim) {
+			t.Fatalf("Contains(%d) = true after Remove", victim)
+		}
+		// A crafted mark has no owning operation to complete it, so a
+		// remove of an unrelated key may leave it parked (in real
+		// executions the owner finishes it). A grow's drain supersedes
+		// any parked relocation; after it the memory must be canonical.
+		s.Grow()
+		if got, canon := s.Snapshot(), CanonicalSetSnapshot(domain, s.NumGroups(), s.Elements()); got != canon {
+			t.Fatalf("Remove(%d): memory not canonical:\n got:  %s\n want: %s", victim, got, canon)
+		}
+	}
+}

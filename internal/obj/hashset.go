@@ -4,54 +4,67 @@ import (
 	"hiconc/internal/hihash"
 )
 
-// HashSet is the user-facing HICHT table: a lock-free, perfectly
-// history-independent hash set over {1..domain} built on per-bucket CAS
-// words (internal/hihash) instead of the universal construction. Unlike
-// the Handle-based objects it needs no per-process handles — any number
-// of goroutines may call it directly — and its throughput is not bounded
+// HashSet is the user-facing HICHT table: a lock-free, history-
+// independent hash set over {1..domain} built on per-bucket CAS words
+// (internal/hihash) instead of the universal construction. Unlike the
+// Handle-based objects it needs no per-process handles — any number of
+// goroutines may call it directly — and its throughput is not bounded
 // by a per-object or per-shard serialization point.
 //
-// The table has fixed capacity: Insert returns false when the key's
-// bucket group is full (see internal/hihash). Use ShardedSet when
-// unbounded capacity matters more than the direct-table fast path.
+// The table is unbounded: keys that overflow their home bucket group
+// displace into neighbouring groups (ordered Robin Hood), and the group
+// array grows online under insert pressure, so Insert always succeeds —
+// there is no full response to handle. The memory representation is the
+// canonical displaced layout of the key set whenever no update is in
+// flight (state-quiescent HI).
 type HashSet struct {
 	s *hihash.Set
 }
 
-// NewHashSet creates a hash set over keys {1..domain} with roughly twice
-// the domain in slot capacity.
+// NewHashSet creates a hash set over keys {1..domain}, initially sized
+// at roughly twice the domain in slot capacity (it grows online if a
+// skewed key set outruns that).
 func NewHashSet(domain int) *HashSet {
-	return &HashSet{s: hihash.NewSet(domain, hihash.DefaultGroups(domain))}
+	return &HashSet{s: hihash.NewDisplaceSet(domain, hihash.DefaultGroups(domain))}
 }
 
-// NewHashSetWithGroups creates a hash set with an explicit group count
-// (capacity = 4 * nGroups slots).
+// NewHashSetWithGroups creates a hash set with an explicit initial group
+// count (capacity = 4 * nGroups slots before any growth). Small initial
+// counts are fine: the table doubles online as keys arrive.
 func NewHashSetWithGroups(domain, nGroups int) *HashSet {
-	return &HashSet{s: hihash.NewSet(domain, nGroups)}
+	return &HashSet{s: hihash.NewDisplaceSet(domain, nGroups)}
 }
 
-// Insert adds v. It reports whether v is in the set afterwards (false
-// only when v's bucket group is at capacity).
-func (h *HashSet) Insert(v int) bool { return h.s.Insert(v) != hihash.RspFull }
+// Insert adds v. It cannot fail: a full home group displaces, a full
+// table grows.
+func (h *HashSet) Insert(v int) { h.s.Insert(v) }
 
 // Remove deletes v.
 func (h *HashSet) Remove(v int) { h.s.Remove(v) }
 
-// Contains reports whether v is in the set (one atomic load).
+// Contains reports whether v is in the set.
 func (h *HashSet) Contains(v int) bool { return h.s.Contains(v) }
+
+// Grow doubles the table's group array now (it also grows by itself
+// under insert pressure).
+func (h *HashSet) Grow() { h.s.Grow() }
+
+// NumGroups returns the current bucket-group count (it grows online).
+func (h *HashSet) NumGroups() int { return h.s.NumGroups() }
 
 // Elements returns the sorted members; composite reads are only atomic at
 // quiescence.
 func (h *HashSet) Elements() []int { return h.s.Elements() }
 
-// Snapshot returns the memory representation (for HI inspection). For
-// this object it is canonical at every instant, not only at quiescence.
+// Snapshot returns the memory representation (for HI inspection): the
+// canonical displaced layout at quiescence.
 func (h *HashSet) Snapshot() string { return h.s.Snapshot() }
 
 // HashMap is the user-facing lock-free history-independent multi-counter
 // over keys {1..keys}, built on per-bucket atomic pointers to canonical
 // immutable entry lists (internal/hihash). Like HashSet it needs no
-// per-process handles; unlike HashSet it has no capacity bound.
+// per-process handles and no capacity planning: the bucket array grows
+// online when buckets lengthen.
 type HashMap struct {
 	m *hihash.Map
 }

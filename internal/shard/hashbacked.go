@@ -13,19 +13,18 @@ import (
 
 // HashSet is the direct-table backend for the sharded set: the same
 // ShardOf routing and shard-local key remapping as Set, but each shard is
-// an internal/hihash table instead of a universal-construction instance.
-// This removes the per-shard serialization point entirely — within a
-// shard, operations on keys of different bucket groups also proceed in
-// parallel, lookups are one atomic load, and updates are one CAS — while
-// the composite memory stays a pure function of the abstract key set
-// (each shard is history independent, and the partition is fixed at
-// construction, the same composition argument as for Set).
+// an internal/hihash displacing table instead of a universal-construction
+// instance. This removes the per-shard serialization point entirely —
+// within a shard, operations on keys of different bucket groups also
+// proceed in parallel — while the composite memory stays a pure function
+// of the abstract key set (each shard is history independent, and the
+// partition is fixed at construction, the same composition argument as
+// for Set).
 //
-// The trade-off inherited from hihash: shards have fixed capacity, so an
-// insert whose bucket group is full returns hihash.RspFull. HashSet sizes
-// each shard at roughly twice its local domain, which makes overflow rare
-// for balanced key sets; callers that must never see RspFull should use
-// the (slower, unbounded) universal-construction Set.
+// Since PR 4 the shards are unbounded: a key that overflows its bucket
+// group displaces into neighbouring groups, and a shard whose probe runs
+// lengthen grows its group array online, so Insert always succeeds —
+// the RspFull plumbing of the bounded table is gone.
 type HashSet struct {
 	n      int
 	domain int
@@ -52,7 +51,7 @@ func NewHashSet(n, domain, nShards int) *HashSet {
 		if local == 0 {
 			local = 1
 		}
-		s.shards[sh] = hihash.NewSet(local, hihash.DefaultGroups(local))
+		s.shards[sh] = hihash.NewDisplaceSet(local, hihash.DefaultGroups(local))
 	}
 	return s
 }
@@ -73,8 +72,8 @@ func (s *HashSet) Apply(pid int, op core.Op) int {
 	return s.shards[sl.shard].Apply(pid, core.Op{Name: op.Name, Arg: sl.local})
 }
 
-// Insert adds key; it returns 0 on success and hihash.RspFull if key's
-// bucket group is at capacity.
+// Insert adds key. It cannot fail: a full bucket group displaces, a full
+// shard grows.
 func (s *HashSet) Insert(pid, key int) int {
 	return s.Apply(pid, core.Op{Name: spec.OpInsert, Arg: key})
 }
@@ -111,7 +110,8 @@ func (s *HashSet) Snapshot() string {
 
 // CanonicalHashSetSnapshot returns the canonical composite representation
 // of the abstract state elems for a (domain, nShards) hash-backed sharded
-// set.
+// set whose shards still hold their initial geometry (balanced key sets
+// never trigger a grow at the default 2x sizing).
 func CanonicalHashSetSnapshot(domain, nShards int, elems []int) string {
 	route, keysOf := routing(domain, nShards)
 	perShard := make([][]int, nShards)

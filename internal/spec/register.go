@@ -28,6 +28,7 @@ const (
 	OpInsert = "insert"
 	OpRemove = "remove"
 	OpLookup = "lookup"
+	OpGrow   = "grow"
 	OpPush   = "push"
 	OpPop    = "pop"
 	OpTop    = "top"
