@@ -32,16 +32,16 @@ func captureStdout(t *testing.T, f func() error) string {
 // and checks that the machine-readable results are written and parse.
 func TestSmoke(t *testing.T) {
 	t.Chdir(t.TempDir())
-	*expFlag = "E10,E21,E22"
+	*expFlag = "E10,E21,E22,E23"
 	*opsFlag = 2000
 	*jsonFlag = true
 	out := captureStdout(t, run)
-	for _, want := range []string{"E10", "E21", "E22", "ns"} {
+	for _, want := range []string{"E10", "E21", "E22", "E23", "ns"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	for _, name := range []string{"BENCH_E10.json", "BENCH_E21.json", "BENCH_E22.json"} {
+	for _, name := range []string{"BENCH_E10.json", "BENCH_E21.json", "BENCH_E22.json", "BENCH_E23.json"} {
 		buf, err := os.ReadFile(name)
 		if err != nil {
 			t.Fatalf("missing %s: %v", name, err)

@@ -3,8 +3,11 @@
 // for SWSR registers, the Section 5.1 positive results (max register, set),
 // the universal construction of Section 6 with its ablations, the
 // Algorithm 6 R-LLSC properties, and the HICHT hash table of
-// internal/hihash — both the bounded group-word design (E21) and the
-// unbounded displacing, online-resizing one (E22).
+// internal/hihash — the bounded group-word design (E21), the unbounded
+// displacing, online-resizing one (E22), and the adversarial-observer
+// family (E23): raw-memory twin dumps, enumerated crash schedules on the
+// simulated twins, and the native Kill matrix over every labeled
+// protocol step.
 //
 // Usage:
 //
@@ -15,13 +18,17 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
+	"sync"
 
 	"hiconc/internal/core"
+	"hiconc/internal/faultinject"
 	"hiconc/internal/harness"
 	"hiconc/internal/hicheck"
 	"hiconc/internal/hihash"
@@ -33,7 +40,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21,E22) or 'all'")
+	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21,E22,E23) or 'all'")
 	deepFlag = flag.Bool("deep", false, "use deeper exploration bounds (slower)")
 )
 
@@ -75,6 +82,7 @@ func runSelected() bool {
 	run("E15", "Baseline: the Fatourou-Kallimanis-style universal construction is not HI", runE15)
 	run("E21", "HICHT hash table: perfect HI and linearizable; append ablation refuted", runE21)
 	run("E22", "Unbounded HICHT: displacement + online resize are SQHI and linearizable; perfect HI provably lost", runE22)
+	run("E23", "Adversarial observers: twin raw dumps indistinguishable; every crash point recovers to canonical", runE23)
 
 	return !failed
 }
@@ -450,6 +458,231 @@ func runE22() error {
 	}
 	fmt.Printf("    no-backward-shift ablation REFUTED(expected): %v\n", v)
 	return nil
+}
+
+func runE23() error {
+	// E23 makes the adversary of the HI definitions executable against
+	// the native tables. Three sub-experiments:
+	//   (a) twin raw dumps — two tables driven to the same abstract set
+	//       by different histories, captured as live word arrays through
+	//       unsafe, must be byte-identical and equal to the canonical
+	//       packed layout;
+	//   (b) enumerated crash schedules on the simulated twins — a
+	//       process killed after every possible number of primitive
+	//       steps, with survivors running to completion, must always
+	//       leave a canonical memory of a linearizable state;
+	//   (c) the native Kill matrix — a goroutine killed at every labeled
+	//       protocol steppoint; the exposed image must lie within 5
+	//       words of a reachable canonical layout (the observed analogue
+	//       of E21's distance bound), and recovery must restore
+	//       canonical memory exactly.
+	const (
+		bDomain, bGroups = 16, 8
+		dDomain, dGroups = 8, 2
+	)
+
+	pairs := depth(1000, 4000)
+	for trial := 0; trial < pairs; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		target := e23Target(rng, bDomain, bDomain)
+		a, b := hihash.NewSet(bDomain, bGroups), hihash.NewSet(bDomain, bGroups)
+		e23Build(a, bDomain, target, int64(1000+trial))
+		e23Build(b, bDomain, target, int64(2000+trial))
+		if !bytes.Equal(a.RawDump(), b.RawDump()) {
+			return fmt.Errorf("bounded twins: trial %d: same state %v, different raw dumps", trial, target)
+		}
+		if d := faultinject.CanonicalDistance(a, target); d != 0 {
+			return fmt.Errorf("bounded twins: trial %d: state %v at distance %d from canonical", trial, target, d)
+		}
+	}
+	fmt.Printf("    bounded twins:    %4d history pairs, raw dumps byte-identical and canonical\n", pairs)
+
+	heavy := e23Heavy(dDomain, dGroups)
+	dPairs := depth(600, 2400)
+	for trial := 0; trial < dPairs; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		target := e23Target(rng, dDomain, 6)
+		if trial%3 == 0 {
+			// Force the overloaded set whose home group overflows, so a
+			// third of the pairs exercise real cross-group displacement.
+			target = append([]int(nil), heavy...)
+		}
+		a, b := hihash.NewDisplaceSet(dDomain, dGroups), hihash.NewDisplaceSet(dDomain, dGroups)
+		e23Build(a, dDomain, target, int64(1000+trial))
+		e23Build(b, dDomain, target, int64(2000+trial))
+		if !bytes.Equal(a.RawDump(), b.RawDump()) {
+			return fmt.Errorf("displacing twins: trial %d: same state %v, different raw dumps", trial, target)
+		}
+		if d := faultinject.CanonicalDistance(a, target); d != 0 {
+			return fmt.Errorf("displacing twins: trial %d: state %v at distance %d from canonical", trial, target, d)
+		}
+	}
+	fmt.Printf("    displacing twins: %4d history pairs (1/3 with forced displacement), dumps canonical\n", dPairs)
+
+	p := hihash.Params{T: 3, G: 2, B: 1}
+	ins := func(v int) core.Op { return core.Op{Name: spec.OpInsert, Arg: v} }
+	rem := func(v int) core.Op { return core.Op{Name: spec.OpRemove, Arg: v} }
+	look := func(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+	grow := core.Op{Name: spec.OpGrow}
+	hb := hihash.NewSimHarness(p, 2, hihash.VariantCanonical)
+	cb, err := hicheck.BuildCanon(hb, 3, 400)
+	if err != nil {
+		return err
+	}
+	nb, err := hicheck.CheckCrashRecovery(cb, hb, [][][]core.Op{
+		{{ins(1), ins(2)}, {rem(1), look(2)}},
+		{{ins(2), rem(2)}, {ins(1)}},
+	}, 0, 2000)
+	if err != nil {
+		return fmt.Errorf("bounded crash schedules: %w", err)
+	}
+	hd := hihash.NewDisplaceHarness(p, 2, hihash.DisplaceCanonical)
+	cd, err := hicheck.BuildCanon(hd, 3, 4000)
+	if err != nil {
+		return err
+	}
+	nd, err := hicheck.CheckCrashRecovery(cd, hd, [][][]core.Op{
+		{{ins(3), ins(1)}, {grow, rem(2)}},
+		{{ins(3), ins(1), rem(1)}, {grow, rem(2)}},
+		{{ins(2), grow}, {grow, rem(1)}},
+	}, 0, 4000)
+	if err != nil {
+		return fmt.Errorf("displacing crash schedules: %w", err)
+	}
+	fmt.Printf("    sim crash schedules: %d bounded + %d displacing, every recovery canonical and linearizable\n", nb, nd)
+
+	cells, mid, maxDist, err := e23Matrix(dDomain, dGroups, heavy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    native Kill matrix: %d cells (%d mid-drain), max stable-geometry distance %d <= 5\n", cells, mid, maxDist)
+	return nil
+}
+
+// e23Target draws a random subset of {1..domain}, capped at maxLen keys.
+func e23Target(rng *rand.Rand, domain, maxLen int) []int {
+	var out []int
+	for k := 1; k <= domain; k++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, k)
+		}
+	}
+	for len(out) > maxLen {
+		out = append(out[:rng.Intn(len(out))], out[rng.Intn(len(out))+1:]...)
+	}
+	return out
+}
+
+// e23Build drives a fresh table to exactly target through a
+// seed-dependent history: random insertion order, decoy churn around
+// every insert, and remove/re-insert churn of target keys.
+func e23Build(s *hihash.Set, domain int, target []int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	in := func(keys []int, k int) bool {
+		for _, x := range keys {
+			if x == k {
+				return true
+			}
+		}
+		return false
+	}
+	order := append([]int(nil), target...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, k := range order {
+		if len(target) < domain {
+			decoy := rng.Intn(domain) + 1
+			for in(target, decoy) {
+				decoy = decoy%domain + 1
+			}
+			s.Insert(decoy)
+			s.Insert(k)
+			s.Remove(decoy)
+		} else {
+			s.Insert(k)
+		}
+		if rng.Intn(2) == 0 {
+			s.Remove(k)
+			s.Insert(k)
+		}
+	}
+}
+
+// e23Heavy returns SlotsPerGroup+1 keys homing at group 0 — one more
+// than a group holds, so inserting them all forces displacement.
+func e23Heavy(domain, nGroups int) []int {
+	var heavy []int
+	for k := 1; k <= domain; k++ {
+		if hihash.GroupOf(k, nGroups) == 0 {
+			heavy = append(heavy, k)
+		}
+	}
+	return heavy[:hihash.SlotsPerGroup+1]
+}
+
+// e23Matrix runs the native Kill matrix: for every steppoint and every
+// occurrence the workload reaches, a victim goroutine runs the script
+// and dies at that protocol CAS; the crash image is measured against
+// every reachable canonical layout, and recovery (re-settle membership,
+// then grow) must restore canonical memory exactly.
+func e23Matrix(domain, nGroups int, heavy []int) (cells, mid, maxDist int, err error) {
+	churn := heavy[2]
+	script := func(s *hihash.Set) {
+		for _, k := range heavy {
+			s.Insert(k)
+		}
+		s.Remove(churn)
+		s.Insert(churn)
+		s.Grow()
+	}
+	// Reachable abstract states: the cumulative prefixes of the script.
+	var candidates [][]int
+	candidates = append(candidates, nil)
+	for i := range heavy {
+		candidates = append(candidates, heavy[:i+1])
+	}
+	var without []int
+	for _, k := range heavy {
+		if k != churn {
+			without = append(without, k)
+		}
+	}
+	candidates = append(candidates, without)
+	for sp := hihash.Steppoint(0); sp < hihash.NumSteppoints; sp++ {
+		for occ := 1; occ <= 128; occ++ {
+			s := hihash.NewDisplaceSet(domain, nGroups)
+			in := faultinject.Install(faultinject.Plan{Point: sp, Occurrence: occ, Action: faultinject.Kill})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				script(s)
+			}()
+			wg.Wait()
+			in.Uninstall()
+			if !in.DidFire() {
+				break
+			}
+			cells++
+			if d := faultinject.MinCanonicalDistance(s, candidates); d < 0 {
+				mid++
+			} else if d > 5 {
+				return cells, mid, d, fmt.Errorf("crash at %s#%d: image at distance %d > 5 from every reachable canonical layout", sp, occ, d)
+			} else if d > maxDist {
+				maxDist = d
+			}
+			for _, k := range heavy {
+				s.Insert(k)
+			}
+			s.Grow()
+			if got, want := s.Snapshot(), hihash.CanonicalSetSnapshot(domain, s.NumGroups(), heavy); got != want {
+				return cells, mid, maxDist, fmt.Errorf("crash at %s#%d: recovery left non-canonical memory\n got:  %s\nwant: %s", sp, occ, got, want)
+			}
+		}
+	}
+	if cells < int(hihash.NumSteppoints) {
+		return cells, mid, maxDist, fmt.Errorf("only %d crash cells reached; the workload misses whole steppoints", cells)
+	}
+	return cells, mid, maxDist, nil
 }
 
 // phases builds the two-phase-then-finish schedule used by E7.

@@ -32,3 +32,31 @@ func TestSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestSmokeE23 runs the adversarial-observer family in-process: twin
+// raw dumps, sim crash-schedule enumeration, and the native Kill matrix.
+func TestSmokeE23(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E23 enumerates displacing crash schedules")
+	}
+	*expFlag = "E23"
+	*deepFlag = false
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ok := runSelected()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if !ok {
+		t.Fatalf("hiverify -exp E23 failed:\n%s", out)
+	}
+	for _, want := range []string{"bounded twins", "displacing twins", "sim crash schedules", "native Kill matrix"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package faultinject
+
+import "hiconc/internal/hihash"
+
+// The raw-dump differ: measures how far a memory image is from the
+// canonical layout, in whole CAS words — the distance of Proposition 6.
+// Two quiescent twins of the same abstract set must measure 0; a crashed
+// image measures the width of the protocol window the crash exposed.
+
+// WordDistance returns the number of differing words between two images
+// of equal length, or -1 when the lengths differ (incomparable
+// geometries — e.g. one table grew and the other did not).
+func WordDistance(a, b []uint64) int {
+	if len(a) != len(b) {
+		return -1
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// CanonicalDistance returns the word distance between the set's raw
+// memory image and the canonical displaced layout of elems at the set's
+// current geometry. It returns -1 while a resize is mid-drain (the
+// image spans two arrays; no single-geometry canonical layout applies).
+func CanonicalDistance(s *hihash.Set, elems []int) int {
+	words := s.RawWords()
+	g := s.NumGroups()
+	if len(words) != g {
+		return -1
+	}
+	return WordDistance(words, hihash.CanonicalWords(s.Domain(), g, elems))
+}
+
+// MinCanonicalDistance returns the smallest CanonicalDistance to any of
+// the candidate abstract states — the right measure at a crash point,
+// where the interrupted operation may or may not have taken effect yet.
+// It returns -1 if no candidate is comparable.
+func MinCanonicalDistance(s *hihash.Set, candidates [][]int) int {
+	best := -1
+	for _, elems := range candidates {
+		d := CanonicalDistance(s, elems)
+		if d >= 0 && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,126 @@
+// Package faultinject makes the adversary of the history-independence
+// definitions executable against the native HICHT tables: it
+// deterministically kills or parks goroutines at the labeled steppoints
+// of the displacement and resize protocols (hihash.SetStepHook), and
+// diffs raw memory dumps against canonical layouts.
+//
+// A Plan names one protocol window — the Nth firing of one steppoint —
+// and an Injector arms it over the global hook. Kill terminates the
+// goroutine right there via runtime.Goexit, leaving shared memory
+// exactly as a thread crash would: the step's CAS is visible, the rest
+// of the protocol never ran. Park blocks the goroutine in the window
+// instead, modeling an unboundedly slow thread. Tests then run fresh
+// goroutines to completion and check, through the differ and through
+// internal/hicheck, that the survivors repair the image back to the
+// canonical layout (EXPERIMENTS.md E23).
+//
+// The steppoint hook is a single global; install at most one Injector at
+// a time and do not run injecting tests in parallel.
+package faultinject
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"hiconc/internal/hihash"
+)
+
+// Action says what happens to the goroutine that reaches the planned
+// steppoint occurrence.
+type Action int
+
+const (
+	// Kill terminates the goroutine at the steppoint via runtime.Goexit —
+	// the crashed thread of the adversarial model. Deferred calls still
+	// run, so injected workers can signal their demise with defer.
+	Kill Action = iota
+	// Park blocks the goroutine at the steppoint until Release — a
+	// thread stalled inside a protocol window for an unbounded stretch.
+	Park
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	if a == Park {
+		return "park"
+	}
+	return "kill"
+}
+
+// Plan selects one crash point: the Occurrence-th firing (1-based,
+// counted across all goroutines) of Point.
+type Plan struct {
+	// Point is the protocol step to intercept.
+	Point hihash.Steppoint
+	// Occurrence is which firing of Point triggers the action (>= 1).
+	Occurrence int
+	// Action is what to do to the goroutine that triggers.
+	Action Action
+}
+
+// Injector is one armed Plan. It fires at most once, on the exact
+// planned occurrence; every other steppoint firing passes through
+// untouched.
+type Injector struct {
+	plan    Plan
+	hits    atomic.Int64
+	fired   chan struct{}
+	release chan struct{}
+}
+
+// Install arms plan on the global steppoint hook and returns the
+// injector. Call Uninstall (and Release, for a fired Park) when done.
+func Install(plan Plan) *Injector {
+	if plan.Occurrence < 1 {
+		plan.Occurrence = 1
+	}
+	in := &Injector{
+		plan:    plan,
+		fired:   make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	hihash.SetStepHook(in.hook)
+	return in
+}
+
+// hook runs on the goroutine that completed a protocol step. The atomic
+// counter hands the planned occurrence to exactly one goroutine.
+func (in *Injector) hook(p hihash.Steppoint) {
+	if p != in.plan.Point {
+		return
+	}
+	if in.hits.Add(1) != int64(in.plan.Occurrence) {
+		return
+	}
+	close(in.fired)
+	if in.plan.Action == Park {
+		<-in.release
+		return
+	}
+	runtime.Goexit()
+}
+
+// Fired returns a channel closed when the plan triggers.
+func (in *Injector) Fired() <-chan struct{} { return in.fired }
+
+// DidFire reports whether the planned occurrence was reached.
+func (in *Injector) DidFire() bool {
+	select {
+	case <-in.fired:
+		return true
+	default:
+		return false
+	}
+}
+
+// Hits returns how many times the planned steppoint has fired so far,
+// whether or not the plan triggered.
+func (in *Injector) Hits() int { return int(in.hits.Load()) }
+
+// Release unblocks a goroutine parked by a fired Park plan. Call it
+// exactly once.
+func (in *Injector) Release() { close(in.release) }
+
+// Uninstall removes the injector from the steppoint hook. A parked
+// goroutine keeps waiting for Release.
+func (in *Injector) Uninstall() { hihash.SetStepHook(nil) }

@@ -1,0 +1,235 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hiconc/internal/faultinject"
+	"hiconc/internal/hihash"
+)
+
+// Dump-indistinguishability twins: two tables driven to the same
+// abstract state by different histories must be indistinguishable to an
+// adversary reading raw memory. For the bounded (perfect-HI) table the
+// dumps must be byte-identical at every trial; for the displacing table
+// at quiescence; for the map over its reachable heap words.
+//
+// Geometries are chosen so the workload cannot change the geometry
+// mid-history (which would be a capacity side channel, not an HI
+// failure): boundedDomain/boundedGroups puts at most 3 possible keys in
+// any home group, so with one decoy in flight no insert ever sees a full
+// group; displaceDomain/displaceGroups overloads one group (5 possible
+// keys, 4 slots) to force real displacement while 6 target keys + 1
+// decoy stay below the 8-slot total that could trigger a grow.
+
+const (
+	boundedDomain, boundedGroups   = 16, 8
+	displaceDomain, displaceGroups = 8, 2
+	mapKeys, mapBuckets            = 24, 6
+)
+
+// targetSet draws a random subset of {1..domain}, capped at maxLen keys.
+func targetSet(rng *rand.Rand, domain, maxLen int) []int {
+	var out []int
+	for k := 1; k <= domain; k++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, k)
+		}
+	}
+	for len(out) > maxLen {
+		out = append(out[:rng.Intn(len(out))], out[rng.Intn(len(out))+1:]...)
+	}
+	return out
+}
+
+func shuffled(rng *rand.Rand, keys []int) []int {
+	out := append([]int(nil), keys...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func inSet(keys []int, k int) bool {
+	for _, x := range keys {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSet drives a fresh table to exactly the target key set through a
+// seed-dependent history: random insertion order with non-target decoy
+// churn around every insert, plus remove/re-insert churn of target keys.
+func buildSet(t *testing.T, s *hihash.Set, domain int, target []int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for _, k := range shuffled(rng, target) {
+		if len(target) < domain {
+			decoy := rng.Intn(domain) + 1
+			for inSet(target, decoy) {
+				decoy = decoy%domain + 1
+			}
+			s.Insert(decoy)
+			s.Insert(k)
+			s.Remove(decoy)
+		} else {
+			s.Insert(k)
+		}
+		if rng.Intn(2) == 0 {
+			s.Remove(k)
+			s.Insert(k)
+		}
+	}
+}
+
+// TwinSetDumps builds two tables for the same target set via different
+// histories and returns their raw dumps. Exported to the E23 driver
+// (hiverify) through the test binary would be awkward; the driver has
+// its own copy of this loop — this one is the package's unit evidence.
+func twinSetDumps(t *testing.T, mk func() *hihash.Set, domain int, target []int, seedA, seedB int64) ([]byte, []byte) {
+	t.Helper()
+	a, b := mk(), mk()
+	buildSet(t, a, domain, target, seedA)
+	buildSet(t, b, domain, target, seedB)
+	return a.RawDump(), b.RawDump()
+}
+
+// TestBoundedTwinDumpsIdentical: the perfect-HI bounded table must dump
+// byte-identically for every pair of histories of the same set, and the
+// dump must equal the canonical packed words.
+func TestBoundedTwinDumpsIdentical(t *testing.T) {
+	trials := 400
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		target := targetSet(rng, boundedDomain, boundedDomain)
+		mk := func() *hihash.Set { return hihash.NewSet(boundedDomain, boundedGroups) }
+		da, db := twinSetDumps(t, mk, boundedDomain, target, int64(1000+trial), int64(2000+trial))
+		if !bytes.Equal(da, db) {
+			t.Fatalf("trial %d: same state %v, different raw dumps:\n a: %x\n b: %x", trial, target, da, db)
+		}
+		s := mk()
+		buildSet(t, s, boundedDomain, target, int64(3000+trial))
+		if d := faultinject.CanonicalDistance(s, target); d != 0 {
+			t.Fatalf("trial %d: state %v: raw words at distance %d from canonical", trial, target, d)
+		}
+	}
+}
+
+// TestDisplaceTwinDumpsIdentical: the displacing table's quiescent dumps
+// must also be byte-identical and canonical — including for states that
+// overflow a home group and force cross-group displacement.
+func TestDisplaceTwinDumpsIdentical(t *testing.T) {
+	trials := 400
+	if testing.Short() {
+		trials = 60
+	}
+	// Keys homed at group 0 under the shared mixer; an overloaded target
+	// containing all of them forces cross-group displacement (5 keys, 4
+	// slots).
+	var heavy []int
+	for k := 1; k <= displaceDomain; k++ {
+		if hihash.GroupOf(k, displaceGroups) == 0 {
+			heavy = append(heavy, k)
+		}
+	}
+	if len(heavy) <= hihash.SlotsPerGroup {
+		t.Fatalf("group 0 homes only %d keys; need > %d to force displacement", len(heavy), hihash.SlotsPerGroup)
+	}
+	heavy = heavy[:hihash.SlotsPerGroup+1]
+	displaced := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		target := targetSet(rng, displaceDomain, 6)
+		if trial%3 == 0 {
+			target = append([]int(nil), heavy...)
+		}
+		mk := func() *hihash.Set { return hihash.NewDisplaceSet(displaceDomain, displaceGroups) }
+		da, db := twinSetDumps(t, mk, displaceDomain, target, int64(1000+trial), int64(2000+trial))
+		if !bytes.Equal(da, db) {
+			t.Fatalf("trial %d: same state %v, different raw dumps:\n a: %x\n b: %x", trial, target, da, db)
+		}
+		s := mk()
+		buildSet(t, s, displaceDomain, target, int64(3000+trial))
+		if g := s.NumGroups(); g != displaceGroups {
+			t.Fatalf("trial %d: table grew to %d groups; the workload must not trigger growth", trial, g)
+		}
+		if d := faultinject.CanonicalDistance(s, target); d != 0 {
+			t.Fatalf("trial %d: state %v: raw words at distance %d from canonical", trial, target, d)
+		}
+		layout := hihash.DisplacedGroups(hihash.Params{T: displaceDomain, G: displaceGroups, B: hihash.SlotsPerGroup}, target)
+	scan:
+		for g, keys := range layout {
+			for _, k := range keys {
+				if hihash.GroupOf(k, displaceGroups) != g {
+					displaced++
+					break scan
+				}
+			}
+		}
+	}
+	if displaced == 0 {
+		t.Fatal("no trial exercised displacement; geometry too roomy")
+	}
+}
+
+// TestMapTwinDumpsIdentical: two maps driven to the same counts by
+// different inc/dec orders must agree on every heap word their buckets
+// reach.
+func TestMapTwinDumpsIdentical(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		counts := map[int]int{}
+		for k := 1; k <= mapKeys; k++ {
+			if rng.Intn(3) == 0 {
+				counts[k] = rng.Intn(4) + 1
+			}
+		}
+		history := func(seed int64) *hihash.Map {
+			hrng := rand.New(rand.NewSource(seed))
+			m := hihash.NewMap(mapKeys, mapBuckets)
+			var steps []func()
+			for k, v := range counts {
+				k := k
+				for i := 0; i < v; i++ {
+					steps = append(steps, func() { m.Inc(k) })
+				}
+			}
+			for i := 0; i < mapKeys/2; i++ {
+				k := hrng.Intn(mapKeys) + 1
+				steps = append(steps, func() { m.Inc(k) })
+				steps = append(steps, func() { m.Dec(k) })
+			}
+			hrng.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+			for _, st := range steps {
+				st()
+			}
+			return m
+		}
+		a, b := history(int64(3000+trial)), history(int64(4000+trial))
+		da, db := a.RawDump(), b.RawDump()
+		if !bytes.Equal(da, db) {
+			t.Fatalf("trial %d: same counts %v, different heap dumps:\n a: %x\n b: %x", trial, counts, da, db)
+		}
+	}
+}
+
+// TestWordDistance pins the differ's edge cases.
+func TestWordDistance(t *testing.T) {
+	if d := faultinject.WordDistance([]uint64{1, 2, 3}, []uint64{1, 9, 3}); d != 1 {
+		t.Fatalf("distance = %d, want 1", d)
+	}
+	if d := faultinject.WordDistance([]uint64{1}, []uint64{1, 2}); d != -1 {
+		t.Fatalf("mismatched lengths: distance = %d, want -1", d)
+	}
+	if d := faultinject.WordDistance(nil, nil); d != 0 {
+		t.Fatalf("empty: distance = %d, want 0", d)
+	}
+}

@@ -1,0 +1,153 @@
+package hicheck
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/harness"
+	"hiconc/internal/linearize"
+	"hiconc/internal/sim"
+)
+
+// Crash-recovery checking (the E23 sim side): a process is stopped
+// mid-operation after an arbitrary number of primitive steps — a thread
+// crash — and is never scheduled again; the surviving processes then run
+// their scripts to completion. The final memory must be the canonical
+// representation of an abstract state some linearization of the whole
+// history reaches (the crashed operation, pending forever, may or may
+// not have taken effect). Enumerating every crash depth of a script
+// visits every protocol window the crashing operation opens.
+//
+// The check is only as strong as the recovery scripts: a survivor
+// repairs the windows its own operations encounter (helping, backward
+// shifts) but never patrols groups it does not touch, so recovery
+// scripts must end in operations that certainly rebuild the layout — an
+// explicit grow (whose drain supersedes parked marks and drops stale
+// flags) is the canonical choice.
+
+// CheckCrashRecovery runs, for every script set and every crash depth k
+// (1, 2, ... up to the crash process's full run), an execution in which
+// process crashPID takes exactly k primitive steps and then crashes
+// (never scheduled again), after which the surviving processes run to
+// completion. Each final configuration is checked against the canonical
+// map as described above. It returns the number of crash schedules
+// checked and the first violation found.
+func CheckCrashRecovery(c *Canon, h *harness.Harness, scriptSets [][][]core.Op, crashPID, maxSteps int) (int, error) {
+	total := 0
+	for _, scripts := range scriptSets {
+		if err := h.Validate(scripts); err != nil {
+			return total, err
+		}
+		if crashPID < 0 || crashPID >= h.NumProcs() {
+			return total, fmt.Errorf("hicheck: crash pid %d out of range", crashPID)
+		}
+		for depth := 1; ; depth++ {
+			t, crashed, err := runCrashSchedule(h, scripts, crashPID, depth, maxSteps)
+			if err != nil {
+				return total, fmt.Errorf("hicheck: %s: scripts %v, crash depth %d: %w", h.Name, scripts, depth, err)
+			}
+			total++
+			if err := CheckFinal(c, t); err != nil {
+				return total, fmt.Errorf("scripts %v, crash depth %d: %w", scripts, depth, err)
+			}
+			if !crashed {
+				// The crash process finished within depth steps: deeper
+				// schedules replay the same complete execution.
+				break
+			}
+		}
+	}
+	return total, nil
+}
+
+// runCrashSchedule executes one crash schedule: crashPID runs alone for
+// up to depth primitive steps, then is abandoned (its pending operation
+// stays pending forever); the surviving processes then run to
+// completion, lowest pid first. crashed reports whether the crash
+// process was still mid-script when abandoned.
+func runCrashSchedule(h *harness.Harness, scripts [][]core.Op, crashPID, depth, maxSteps int) (t *sim.Trace, crashed bool, err error) {
+	r := h.BuildScripts(scripts)
+	r.Start()
+	defer r.Stop()
+	for taken := 0; taken < depth && !r.ProcDone(crashPID); {
+		for _, pid := range r.Paused() {
+			r.Resume(pid)
+		}
+		if stepRunnable(r, crashPID) {
+			taken++
+		}
+		if len(r.Trace().Steps) > maxSteps {
+			return r.Trace(), false, fmt.Errorf("crash prefix exceeded %d steps", maxSteps)
+		}
+	}
+	crashed = !r.ProcDone(crashPID)
+	// Recovery: resume and step every process except the crashed one
+	// until the survivors are done. The crashed process stays parked at
+	// its next primitive forever.
+	for {
+		progressed := false
+		for _, pid := range r.Paused() {
+			if pid != crashPID {
+				r.Resume(pid)
+				progressed = true
+			}
+		}
+		for _, pid := range r.Runnable() {
+			if pid != crashPID {
+				r.Step(pid)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return r.Trace(), crashed, nil
+		}
+		if len(r.Trace().Steps) > maxSteps {
+			return r.Trace(), crashed, fmt.Errorf("recovery did not finish within %d steps", maxSteps)
+		}
+	}
+}
+
+// stepRunnable steps pid if it is parked at a primitive, reporting
+// whether a step was taken (false means it was paused and only resumed).
+func stepRunnable(r *sim.Runner, pid int) bool {
+	if _, ok := r.PendingPrim(pid); !ok {
+		return false
+	}
+	r.Step(pid)
+	return true
+}
+
+// CheckFinal checks the final configuration of a trace against the
+// canonical map: the memory must canonically represent a state that some
+// linearization of the (possibly incomplete) history reaches. Unlike
+// CheckTrace it looks at one configuration and ignores observation
+// classes — it is the recovery check, applied after a crash schedule
+// where the crashed operation stays pending forever.
+func CheckFinal(c *Canon, t *sim.Trace) error {
+	k := len(t.Steps)
+	mem := t.MemAt(k)
+	fp := sim.Fingerprint(mem)
+	state, ok := c.ByMem[fp]
+	if !ok {
+		return &Violation{
+			Class: StateQuiescent, ConfigIndex: k, Mem: mem, Trace: t,
+			Reason: "post-recovery memory is not the canonical representation of any state",
+		}
+	}
+	candidates := linearize.FinalStates(c.Spec, t.Events)
+	if len(candidates) == 0 {
+		return &Violation{
+			Class: StateQuiescent, ConfigIndex: k, Mem: mem, Trace: t,
+			Reason: "crash execution is not linearizable",
+		}
+	}
+	if !candidates[state] {
+		return &Violation{
+			Class: StateQuiescent, ConfigIndex: k, Mem: mem, Trace: t,
+			Reason: fmt.Sprintf("memory canonically represents state %q, which no linearization of the crash history reaches (candidates: %v)",
+				state, keys(candidates)),
+		}
+	}
+	return nil
+}

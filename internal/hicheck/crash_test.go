@@ -1,0 +1,103 @@
+package hicheck
+
+import (
+	"strings"
+	"testing"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/spec"
+)
+
+// Geometry shared by the crash tests: keys 1 and 3 home at group 1, key
+// 2 at group 0, one slot per group — so ins3 then ins1 exercises the
+// eviction protocol and a grow doubles to four groups.
+var crashP = hihash.Params{T: 3, G: 2, B: 1}
+
+func ins(v int) core.Op  { return core.Op{Name: spec.OpInsert, Arg: v} }
+func rem(v int) core.Op  { return core.Op{Name: spec.OpRemove, Arg: v} }
+func grow() core.Op      { return core.Op{Name: spec.OpGrow} }
+func look(v int) core.Op { return core.Op{Name: spec.OpLookup, Arg: v} }
+
+// TestCrashRecoveryBounded enumerates crash schedules of the bounded
+// twin: every update is one CAS, so every crash depth must leave (after
+// the survivor's script) a canonical memory.
+func TestCrashRecoveryBounded(t *testing.T) {
+	h := hihash.NewSimHarness(crashP, 2, hihash.VariantCanonical)
+	c, err := BuildCanon(h, 3, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := [][][]core.Op{
+		{{ins(1), ins(2)}, {rem(1), look(2)}},
+		{{ins(2), rem(2)}, {ins(1)}},
+	}
+	n, err := CheckCrashRecovery(c, h, scripts, 0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("checked only %d crash schedules", n)
+	}
+}
+
+// TestCrashRecoveryDisplace enumerates crash schedules of the displacing
+// twin across its protocol windows — eviction marks, restore flags, and
+// a mid-resize drain — and requires recovery to the canonical layout.
+// Every recovery script ends with operations that certainly rebuild: a
+// grow (drains everything when it wins the level CAS) followed by a
+// remove (whose level-1 path drains every old group when the crash had
+// already published the level).
+func TestCrashRecoveryDisplace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("displace crash enumeration is slow")
+	}
+	h := hihash.NewDisplaceHarness(crashP, 2, hihash.DisplaceCanonical)
+	c, err := BuildCanon(h, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := [][][]core.Op{
+		// Crash inside a displacing insert (3 then 1 evicts 3 from its
+		// home group).
+		{{ins(3), ins(1)}, {grow(), rem(2)}},
+		// Crash inside a remove whose backward shift pulls 3 back.
+		{{ins(3), ins(1), rem(1)}, {grow(), rem(2)}},
+		// Crash inside the grow's drain, keys resident.
+		{{ins(2), grow()}, {grow(), rem(1)}},
+	}
+	n, err := CheckCrashRecovery(c, h, scripts, 0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("checked %d crash schedules", n)
+	if n < 20 {
+		t.Fatalf("checked only %d crash schedules; expected the windows of three scripts", n)
+	}
+}
+
+// TestCrashRecoveryCatchesNoShift replays a crash schedule against the
+// no-backward-shift ablation: removing a key another key displaced past
+// leaves a hole the ablation never refills, so recovery (without a
+// rebuild) cannot reach the canonical layout and the checker must object.
+func TestCrashRecoveryCatchesNoShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("displace crash enumeration is slow")
+	}
+	good := hihash.NewDisplaceHarness(crashP, 2, hihash.DisplaceCanonical)
+	c, err := BuildCanon(good, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := hihash.NewDisplaceHarness(crashP, 2, hihash.DisplaceNoShift)
+	scripts := [][][]core.Op{
+		{{ins(3), ins(1), rem(1)}, {look(3)}},
+	}
+	_, err = CheckCrashRecovery(c, bad, scripts, 0, 4000)
+	if err == nil {
+		t.Fatal("no-shift ablation survived crash-recovery checking")
+	}
+	if !strings.Contains(err.Error(), "canonical") {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+}

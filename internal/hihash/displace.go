@@ -239,6 +239,20 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 			if slotAt(view, i)&slotMark == 0 {
 				return wsDone, dist
 			}
+			if exclude >= 0 {
+				// This walk is already completing a relocation of c out
+				// of exclude, yet c has a second marked copy here — an
+				// abandoned relocation (a crashed or long-parked thread)
+				// whose source a later insert refilled. Helping it would
+				// recurse into helping ourselves forever; cancel it in
+				// place instead — the twin becomes c's landed copy and
+				// the caller releases the copy at exclude.
+				if st.groups[g].CompareAndSwap(w, wordReplace(w, uint64(c)|slotMark, uint64(c))) {
+					stepAt(SpEvictSwap)
+					return wsDone, dist
+				}
+				continue
+			}
 			// c is itself mid-relocation here: help it land, then
 			// re-examine.
 			if rs := s.relocateOut(st, c, g); rs != wsDone {
@@ -248,6 +262,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 		}
 		if wordZeros(w) > 0 {
 			if st.groups[g].CompareAndSwap(w, wordAdd(w, uint64(c))) {
+				stepAt(SpDestWritten)
 				return s.placed(st, c, dist), dist
 			}
 			continue
@@ -257,6 +272,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 			// that branch of the backward shift (the canonical layout
 			// gives the hole to c).
 			if st.groups[g].CompareAndSwap(w, wordReplace(w, flagSlot, uint64(c))) {
+				stepAt(SpDestWritten)
 				return s.placed(st, c, dist), dist
 			}
 			continue
@@ -268,6 +284,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 				// larger key claimed a freed slot while the mark was
 				// parked) — cancel it in place, which is the placement.
 				if st.groups[g].CompareAndSwap(w, wordReplace(w, uint64(c)|slotMark, uint64(c))) {
+					stepAt(SpEvictSwap)
 					return wsDone, dist
 				}
 				continue
@@ -279,6 +296,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 			if !st.groups[g].CompareAndSwap(w, wordReplace(w, uint64(m), uint64(m)|slotMark)) {
 				continue
 			}
+			stepAt(SpMarkSet)
 			rs := s.finishEvict(st, c, m, g)
 			if rs == wsDone {
 				return s.placed(st, c, dist), dist
@@ -330,6 +348,7 @@ func (s *Set) finishEvict(st *tableState, c, m, g int) wstatus {
 		}
 		if i := wordFind(w, m); i >= 0 && slotAt(w, i)&slotMark != 0 {
 			if st.groups[g].CompareAndSwap(w, wordReplace(w, uint64(m)|slotMark, uint64(c))) {
+				stepAt(SpEvictSwap)
 				return wsDone
 			}
 			continue
@@ -405,6 +424,7 @@ func (s *Set) placed(st *tableState, c, dist int) wstatus {
 			if !st.groups[at].CompareAndSwap(w, wordReplace(w, uint64(c), uint64(c)|slotMark)) {
 				continue
 			}
+			stepAt(SpMarkSet)
 			if rs := s.relocateOut(st, c, at); rs != wsDone {
 				return rs
 			}
@@ -468,6 +488,7 @@ func (s *Set) relocateOut(st *tableState, m, j int) wstatus {
 			return rs
 		}
 		if st.groups[j].CompareAndSwap(w, wordReplace(w, uint64(m)|slotMark, flagSlot)) {
+			stepAt(SpSourceCleared)
 			return s.restore(st, j)
 		}
 	}
@@ -514,6 +535,7 @@ func (s *Set) restore(st *tableState, g int) wstatus {
 		}
 		if best == 0 {
 			if st.groups[g].CompareAndSwap(w, wordReplace(w, flagSlot, 0)) {
+				stepAt(SpFlagCleared)
 				return wsDone
 			}
 			continue
@@ -531,6 +553,7 @@ func (s *Set) restore(st *tableState, g int) wstatus {
 		if !st.groups[bestAt].CompareAndSwap(wj, wordReplace(wj, uint64(best), uint64(best)|slotMark)) {
 			continue
 		}
+		stepAt(SpMarkSet)
 		if rs := s.relocateOut(st, best, bestAt); rs != wsDone {
 			return rs
 		}
@@ -629,13 +652,28 @@ func (s *Set) displaceRemove(key int) int {
 			continue
 		}
 		if !r.found {
-			// Migration in flight would let the key hide in the old
-			// table; currentFor drains its group first, so once prev is
-			// gone a validated clean scan confirms absence.
-			if st.prev.Load() == nil && rescanMatches(st, r) && s.st.Load() == st {
+			if at := s.findKey(st, key); at >= 0 {
+				// A physical copy beyond the validated probe run: the
+				// ghost of a relocation whose owner died after the
+				// destination copy was separately removed. Scans can
+				// never reach it, but a drain would faithfully migrate
+				// (resurrect) it — chase it like a found copy.
+				w := st.groups[at].Load()
+				i := wordFind(w, key)
+				if i < 0 {
+					continue
+				}
+				r.found, r.foundAt = true, at
+				r.foundMarked = slotAt(w, i)&slotMark != 0
+			} else if st.prev.Load() == nil && rescanMatches(st, r) && s.st.Load() == st {
+				// Migration in flight would let the key hide in the old
+				// table; current drains it first, so once prev is gone a
+				// validated clean scan over a ghost-free table confirms
+				// absence.
 				return 0
+			} else {
+				continue
 			}
-			continue
 		}
 		if r.foundMarked {
 			// Resolve the in-flight relocation first: removing a copy
@@ -651,6 +689,7 @@ func (s *Set) displaceRemove(key int) int {
 			continue
 		}
 		if st.groups[r.foundAt].CompareAndSwap(w, wordReplace(w, uint64(key), flagSlot)) {
+			stepAt(SpFlagPlaced)
 			s.restore(st, r.foundAt)
 		}
 	}

@@ -68,15 +68,49 @@ func (s *Set) grow(st *tableState) {
 	if len(cur.groups) >= s.maxGroups() {
 		// At the ceiling every key fits with room to spare; a walk that
 		// still reported full was a transient of in-flight relocation
-		// copies and resolves on retry.
+		// copies and resolves on retry. But no fresh array will ever
+		// drain this one, so the rebuild a grow promises must happen in
+		// place: repair whatever parked annotations remain. (A crashed
+		// remove's restore flag in a group no surviving operation's probe
+		// run crosses would otherwise outlive quiescence forever.)
+		s.sweep(cur)
 		return
 	}
 	next := newTableState(2 * len(cur.groups))
 	next.prev.Store(cur)
 	if s.st.CompareAndSwap(cur, next) {
+		stepAt(SpGrowPublished)
 		s.drainAll(cur, next)
 	} else if p := s.st.Load().prev.Load(); p != nil {
 		s.drainAll(p, s.st.Load())
+	}
+}
+
+// sweep repairs every parked annotation of st in place: it completes
+// marked relocations and runs the backward shift of every restore flag,
+// group by group. It is the rebuild path of a grow at the capacity
+// ceiling, where draining into a doubled array is no longer available.
+func (s *Set) sweep(st *tableState) {
+	for g := range st.groups {
+		for {
+			w := st.groups[g].Load()
+			if w == gone {
+				break
+			}
+			if m := wordAnyMarked(w); m != 0 {
+				if s.relocateOut(st, m, g) == wsRestart {
+					return
+				}
+				continue
+			}
+			if wordFlags(w) > 0 {
+				if s.restore(st, g) == wsRestart {
+					return
+				}
+				continue
+			}
+			break
+		}
 	}
 }
 
@@ -119,7 +153,9 @@ func (s *Set) drainGroup(p *tableState, g int, cur *tableState) {
 			return
 		}
 		if wordFlags(w) > 0 {
-			p.groups[g].CompareAndSwap(w, wordReplace(w, flagSlot, 0))
+			if p.groups[g].CompareAndSwap(w, wordReplace(w, flagSlot, 0)) {
+				stepAt(SpDrainDropped)
+			}
 			continue
 		}
 		var sl uint64
@@ -130,7 +166,9 @@ func (s *Set) drainGroup(p *tableState, g int, cur *tableState) {
 			}
 		}
 		if sl == 0 {
-			p.groups[g].CompareAndSwap(w, gone)
+			if p.groups[g].CompareAndSwap(w, gone) {
+				stepAt(SpGonePlaced)
+			}
 			continue
 		}
 		key := int(sl & slotKey)
@@ -145,6 +183,9 @@ func (s *Set) drainGroup(p *tableState, g int, cur *tableState) {
 			}
 			continue
 		}
-		p.groups[g].CompareAndSwap(w, wordReplace(w, sl, 0))
+		stepAt(SpDrainCopied)
+		if p.groups[g].CompareAndSwap(w, wordReplace(w, sl, 0)) {
+			stepAt(SpDrainDropped)
+		}
 	}
 }

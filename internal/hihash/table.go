@@ -208,6 +208,7 @@ func (s *Set) Insert(key int) int {
 		copy(keys[pos+1:n+1], keys[pos:n])
 		keys[pos] = key
 		if g.CompareAndSwap(w, pack(&keys, n+1)) {
+			stepAt(SpBoundedUpdate)
 			return 0
 		}
 	}
@@ -241,6 +242,7 @@ func (s *Set) Remove(key int) int {
 		copy(keys[pos:n-1], keys[pos+1:n])
 		keys[n-1] = 0
 		if g.CompareAndSwap(w, pack(&keys, n-1)) {
+			stepAt(SpBoundedUpdate)
 			return 0
 		}
 	}

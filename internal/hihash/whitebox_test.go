@@ -10,6 +10,25 @@ import (
 	"time"
 )
 
+// within runs fn to completion on its own goroutine, failing the test if
+// it wedges for d. It is a watchdog against livelock regressions, not a
+// synchronization point — completion is signaled by channel close, and a
+// sweep of the test tree found no bare time.Sleep synchronization
+// anywhere (cross-goroutine ordering is always a channel or WaitGroup).
+func within(t *testing.T, d time.Duration, wedged string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal(wedged)
+	}
+}
+
 // TestPlaceKeyParkedMarkNotMax pins the self-help recursion regression:
 // a marked key that is no longer its group's maximum (a larger key
 // claimed a slot freed while the mark was parked). A walk that outranks
@@ -37,15 +56,12 @@ func TestPlaceKeyParkedMarkNotMax(t *testing.T) {
 	st := s.st.Load()
 	crafted := [SlotsPerGroup]uint64{uint64(x1), uint64(x2), uint64(a), uint64(mk) | slotMark}
 	st.groups[0].Store(packWord(&crafted, 4))
-	done := make(chan int, 1)
-	go func() { done <- s.Insert(c) }()
-	select {
-	case rsp := <-done:
-		if rsp != 0 {
-			t.Fatalf("Insert(%d) = %d", c, rsp)
-		}
-	case <-time.After(20 * time.Second):
-		t.Fatal("Insert wedged helping a parked, outranked mark")
+	var rsp int
+	within(t, 20*time.Second, "Insert wedged helping a parked, outranked mark", func() {
+		rsp = s.Insert(c)
+	})
+	if rsp != 0 {
+		t.Fatalf("Insert(%d) = %d", c, rsp)
 	}
 	// The cancel-in-place resolution must leave every key present and
 	// the layout canonical.
@@ -81,13 +97,9 @@ func TestRemoveWithParkedOutrankedMark(t *testing.T) {
 	}
 	for _, victim := range []int{mk, x1, a} {
 		s := craft()
-		done := make(chan int, 1)
-		go func() { done <- s.Remove(victim) }()
-		select {
-		case <-done:
-		case <-time.After(20 * time.Second):
-			t.Fatalf("Remove(%d) wedged on the parked mark", victim)
-		}
+		within(t, 20*time.Second, "Remove wedged on the parked mark", func() {
+			s.Remove(victim)
+		})
 		if s.Contains(victim) {
 			t.Fatalf("Contains(%d) = true after Remove", victim)
 		}
