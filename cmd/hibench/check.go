@@ -1,0 +1,44 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hiconc/internal/benchfmt"
+)
+
+// runCheck compares this run's fresh measurements against the committed
+// BENCH_<exp>.json baselines in -benchdir and fails if any gated metric
+// regressed beyond -tol. Experiments without a committed baseline are
+// reported and skipped (a brand-new family cannot regress); a run that
+// recorded nothing is an error, because a -check that checked nothing
+// passing silently is how gates rot.
+func runCheck() error {
+	fams := rec.Families()
+	if len(fams) == 0 {
+		return fmt.Errorf("-check: no measurements recorded (did -exp select anything?)")
+	}
+	regressions := 0
+	for _, exp := range fams {
+		fresh := rec.File(exp)
+		path := filepath.Join(*benchdirFlag, fresh.Filename())
+		committed, err := benchfmt.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				fmt.Printf("check %s: no committed baseline at %s, skipped\n", exp, path)
+				continue
+			}
+			return fmt.Errorf("-check: %w", err)
+		}
+		deltas, regressed := benchfmt.Compare(committed, fresh, *tolFlag)
+		benchfmt.WriteDeltas(os.Stdout, exp, deltas, *tolFlag)
+		regressions += regressed
+	}
+	if regressions > 0 {
+		return fmt.Errorf("-check: %d gated measurement(s) regressed beyond tol=%.0f%%",
+			regressions, *tolFlag*100)
+	}
+	return nil
+}

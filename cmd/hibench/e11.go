@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/workload"
+)
+
+func runE11(procs []int) {
+	fmt.Println("=== E11: universal construction scaling (counter, 80% updates)")
+	fmt.Printf("%6s %14s %14s %14s %14s\n", "procs", "universal-hi", "leaky", "mutex", "cas-nohelp")
+	for _, n := range procs {
+		row := make([]string, 0, 4)
+		for _, mk := range []func() conc.Applier{
+			func() conc.Applier { return conc.NewUniversal(conc.CounterObj{}, n) },
+			func() conc.Applier { return conc.NewLeakyUniversal(conc.CounterObj{}, n) },
+			func() conc.Applier { return conc.NewMutexObject(conc.CounterObj{}) },
+			func() conc.Applier { return conc.NewNoHelpUniversal(conc.CounterObj{}) },
+		} {
+			a := mk()
+			opsPer := *opsFlag / n
+			elapsed := timeIt(func() {
+				var wg sync.WaitGroup
+				for pid := 0; pid < n; pid++ {
+					wg.Add(1)
+					go func(pid int) {
+						defer wg.Done()
+						ops := workload.NewGen(int64(pid)).CounterMix(opsPer, 0.2)
+						for _, op := range ops {
+							a.Apply(pid, op)
+						}
+					}(pid)
+				}
+				wg.Wait()
+			})
+			row = append(row, perOp(elapsed, opsPer*n))
+			recordPerOp("E11", fmt.Sprintf("%s/procs=%d", a.Name(), n), elapsed, opsPer*n)
+		}
+		fmt.Printf("%6d %14s %14s %14s %14s\n", n, row[0], row[1], row[2], row[3])
+	}
+	fmt.Println("    (ns/op; universal-hi pays a constant factor over leaky for clearing,")
+	fmt.Println("     and over cas-nohelp for announcing+helping — the price of wait-free HI)")
+	fmt.Println()
+}

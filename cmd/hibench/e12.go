@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+
+	"hiconc/internal/conc"
+)
+
+func runE12() {
+	fmt.Println("=== E12: the cost of clearing (full Algorithm 5 vs non-clearing ablation)")
+	fmt.Printf("%10s %8s %14s %14s %10s\n", "object", "readFrac", "universal-hi", "leaky", "overhead")
+	for _, readFrac := range []float64{0.0, 0.5, 0.9} {
+		const n = 4
+		full := conc.NewUniversal(conc.CounterObj{}, n)
+		leaky := conc.NewLeakyUniversal(conc.CounterObj{}, n)
+		tFull := runCounter(full, n, *opsFlag/n, readFrac)
+		tLeaky := runCounter(leaky, n, *opsFlag/n, readFrac)
+		fmt.Printf("%10s %8.1f %14s %14s %9.2fx\n", "counter", readFrac,
+			perOp(tFull, *opsFlag), perOp(tLeaky, *opsFlag),
+			float64(tFull)/float64(tLeaky))
+		recordPerOp("E12", fmt.Sprintf("universal-hi/reads=%.1f", readFrac), tFull, *opsFlag)
+		recordPerOp("E12", fmt.Sprintf("leaky/reads=%.1f", readFrac), tLeaky, *opsFlag)
+	}
+	fmt.Println("    (overhead should be a modest constant factor — clearing adds one")
+	fmt.Println("     SC to head, one announce Store and the RL releases per operation)")
+}

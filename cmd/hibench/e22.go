@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/shard"
+	"hiconc/internal/spec"
+	"hiconc/internal/workload"
+)
+
+func runE22() {
+	fmt.Println("=== E22: the unbounded HICHT — displacement and online resize")
+	const n, domain = 8, 8192
+
+	// Load-factor sweep: the displacing table starts at capacity
+	// domain/2 and is preloaded to lf times that capacity; past lf = 1
+	// the bounded table of E21 would reject, the displacing one spills
+	// and grows. The bounded column is preloaded to the same load for a
+	// like-for-like row (its rejects are counted, not hidden — above
+	// load 1 part of its preload and workload is silently refused).
+	fmt.Println("\n    load-factor sweep (10% lookups, Zipf s=1.01, 8 goroutines; ns/op):")
+	fmt.Printf("%8s %16s %10s %10s %14s %18s %12s\n",
+		"load", "hihash-displace", "rejects", "groups", "bounded", "sharded-universal", "sync.Map")
+	g0 := domain / 8 // initial capacity domain/2
+	for _, lf := range []float64{0.5, 0.75, 1.0, 1.25, 1.5} {
+		load := int(lf * float64(g0) * hihash.SlotsPerGroup)
+		mixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+			return g.SetZipf(8192, domain, 1.01, 0.1)
+		})
+		tag := fmt.Sprintf("set/load=%.2f", lf)
+
+		disp := &fullCounter{Applier: hihash.NewDisplaceSet(domain, g0)}
+		preload(disp, load)
+		dispCell := measurePerKey("E22", tag+"/hihash-displace", disp, n, mixes)
+		record("E22", tag+"/hihash-displace/rspfull", "count", float64(disp.fulls))
+		record("E22", tag+"/hihash-displace/groups", "groups", float64(disp.Applier.(*hihash.Set).NumGroups()))
+
+		bounded := &fullCounter{Applier: hihash.NewSet(domain, g0)}
+		preload(bounded, load)
+		boundedCell := measurePerKey("E22", tag+"/hihash-bounded", bounded, n, mixes)
+		record("E22", tag+"/hihash-bounded/rspfull", "count", float64(bounded.fulls))
+
+		uni := shard.NewSet(n, domain, 16)
+		preload(uni, load)
+		uniCell := measurePerKey("E22", tag+"/sharded-universal/S=16", uni, n, mixes)
+
+		sm := conc.NewSyncMapSet()
+		preload(sm, load)
+		smCell := measurePerKey("E22", tag+"/syncmap", sm, n, mixes)
+
+		fmt.Printf("%8.2f %16s %10d %10d %14s %18s %12s\n",
+			lf, dispCell, disp.fulls, disp.Applier.(*hihash.Set).NumGroups(),
+			boundedCell, uniCell, smCell)
+	}
+	fmt.Println("    (rejects must be 0 for hihash-displace at every load factor; the")
+	fmt.Println("     groups column shows the online resize absorbing load > 1)")
+
+	// Resize under load: fill the whole domain from 8 goroutines into a
+	// table that starts 64x too small, so the migration machinery runs
+	// about six times mid-storm; the pre-sized table is the no-resize
+	// ceiling.
+	fmt.Println("\n    resize under load (insert storm of the full domain, 8 goroutines; ns/op):")
+	fmt.Printf("%22s %16s %18s %12s\n", "hihash-displace(G=16)", "pre-sized", "sharded-universal", "sync.Map")
+	storm := func(a conc.Applier) time.Duration {
+		per := domain / n
+		return timeIt(func() {
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						key := pid*per + i + 1
+						a.Apply(pid, core.Op{Name: spec.OpInsert, Arg: key})
+						if i%10 == 9 {
+							a.Apply(pid, core.Op{Name: spec.OpLookup, Arg: key})
+						}
+					}
+				}(pid)
+			}
+			wg.Wait()
+		})
+	}
+	stormOps := domain + domain/10
+	growing := &fullCounter{Applier: hihash.NewDisplaceSet(domain, 16)}
+	tGrow := storm(growing)
+	recordPerOp("E22", "storm/hihash-displace/G0=16", tGrow, stormOps)
+	record("E22", "storm/hihash-displace/rspfull", "count", float64(growing.fulls))
+	record("E22", "storm/hihash-displace/groups", "groups", float64(growing.Applier.(*hihash.Set).NumGroups()))
+	tPre := storm(hihash.NewDisplaceSet(domain, domain/2))
+	recordPerOp("E22", "storm/hihash-presized", tPre, stormOps)
+	tUni := storm(shard.NewSet(n, domain, 16))
+	recordPerOp("E22", "storm/sharded-universal/S=16", tUni, stormOps)
+	tSM := storm(conc.NewSyncMapSet())
+	recordPerOp("E22", "storm/syncmap", tSM, stormOps)
+	fmt.Printf("%22s %16s %18s %12s\n",
+		perOp(tGrow, stormOps), perOp(tPre, stormOps), perOp(tUni, stormOps), perOp(tSM, stormOps))
+	fmt.Printf("    (grew to %d groups with %d rejects; resize cost is the gap to pre-sized)\n",
+		growing.Applier.(*hihash.Set).NumGroups(), growing.fulls)
+
+	// The map side: the pointer-bucket map growing online from 4 buckets
+	// vs pre-sized vs the sharded universal construction.
+	fmt.Println("\n    multi-counter map, growing online (Zipf s=1.2, 10% reads; ns/op):")
+	const mapKeys = 4096
+	mapMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+		return g.MapZipf(8192, mapKeys, 1.2, 0.1)
+	})
+	growMap := hihash.NewMap(mapKeys, 4)
+	growCell := measurePerKey("E22", "map/hihash-growing/B0=4", growMap, n, mapMixes)
+	record("E22", "map/hihash-growing/buckets", "buckets", float64(growMap.NumBuckets()))
+	fmt.Printf("%22s %16s %18s\n", "hihash-map(B0=4)", "pre-sized", "sharded-universal")
+	fmt.Printf("%22s %16s %18s\n",
+		growCell,
+		measurePerKey("E22", "map/hihash-presized", hihash.NewMap(mapKeys, mapKeys/4), n, mapMixes),
+		measurePerKey("E22", "map/sharded-universal/S=16", shard.NewMap(n, mapKeys, 16), n, mapMixes))
+	fmt.Printf("    (the growing map settled at %d buckets)\n", growMap.NumBuckets())
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/histats"
+	"hiconc/internal/shard"
+	"hiconc/internal/trace"
+	"hiconc/internal/workload"
+)
+
+// e24Sites is the per-operation hot-site budget of the instrumented
+// stack: a successful displacing update fires at most one steppoint
+// mirror (Inc) plus one probe-length Observe, and lookups fire nothing
+// (see DESIGN.md, "Observability outside the HI boundary"). The E24
+// gate multiplies this by the measured per-site cost.
+const e24Sites = 2
+
+// runE24 measures the histats metrics layer itself: the unit price of a
+// disabled site, a disabled-vs-enabled A/B over the E21/E22-shaped
+// workloads, a machine-checked bound on the computed disabled-path
+// overhead, the protocol-event distributions the enabled run gathers,
+// and a raw-dump identity check that metrics stay outside the HI
+// boundary. The gate uses the computed overhead (sites x site cost over
+// per-op CPU time), not the A/B difference: the difference of two noisy
+// wall-clock measurements swings by more than the budget being checked,
+// while the computed bound is a stable worst case.
+func runE24() error {
+	fmt.Println("=== E24: observability — the cost of the metrics layer (internal/histats)")
+	const n, domain, mapKeys = 8, 8192, 256
+
+	// Unit price of one disabled site: the atomic load + nil check every
+	// instrumented site pays when no recorder is installed.
+	histats.Disable()
+	hookNs := measureDisabledSite()
+	fmt.Printf("\n    disabled site (atomic load + branch): %.2f ns/call\n", hookNs)
+	record("E24", "site/disabled", "ns/call", hookNs)
+
+	// Disabled-vs-enabled A/B on the displacing set (the hihash hot path,
+	// mirroring E22's load=0.5 row) and the combining map (the
+	// universal-construction hot path).
+	setMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+		return g.SetZipf(8192, domain, 1.01, 0.1)
+	})
+	runSet := func() time.Duration {
+		s := hihash.NewDisplaceSet(domain, domain/8)
+		preload(s, domain/4)
+		return runPerKey(s, n, *opsFlag/n, setMixes)
+	}
+	mapMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+		return g.MapZipf(8192, mapKeys, 1.5, 0.1)
+	})
+	runMap := func() time.Duration {
+		return runPerKey(shard.NewCombiningMap(n, mapKeys, 4), n, *opsFlag/n, mapMixes)
+	}
+
+	tSetOff := runSet()
+	tMapOff := runMap()
+	r := histats.Enable()
+	tSetOn := runSet()
+	tMapOn := runMap()
+	snap := r.Snapshot()
+	histats.Disable()
+
+	offNs := float64(tSetOff.Nanoseconds()) / float64(*opsFlag)
+	measured := 100 * (float64(tSetOn.Nanoseconds()) - float64(tSetOff.Nanoseconds())) / float64(tSetOff.Nanoseconds())
+	// CPU basis: one wall nanosecond is par CPU nanoseconds at the run's
+	// effective parallelism, and each operation pays at most e24Sites
+	// disabled sites.
+	par := runtime.GOMAXPROCS(0)
+	if par > n {
+		par = n
+	}
+	computed := 100 * e24Sites * hookNs / (float64(par) * offNs)
+	fmt.Println("\n    disabled vs enabled (ns/op; measured delta is wall-clock noise,")
+	fmt.Println("    the computed bound is what the gate checks):")
+	fmt.Printf("%12s %12s %12s %12s %12s\n", "workload", "disabled", "enabled", "measured", "computed")
+	fmt.Printf("%12s %12s %12s %11.1f%% %11.2f%%\n", "set",
+		perOp(tSetOff, *opsFlag), perOp(tSetOn, *opsFlag), measured, computed)
+	mapMeasured := 100 * (float64(tMapOn.Nanoseconds()) - float64(tMapOff.Nanoseconds())) / float64(tMapOff.Nanoseconds())
+	fmt.Printf("%12s %12s %12s %11.1f%% %12s\n", "map",
+		perOp(tMapOff, *opsFlag), perOp(tMapOn, *opsFlag), mapMeasured, "-")
+	recordPerOp("E24", "set/disabled", tSetOff, *opsFlag)
+	recordPerOp("E24", "set/enabled", tSetOn, *opsFlag)
+	record("E24", "set/measured-overhead", "percent", measured)
+	record("E24", "set/computed-overhead", "percent", computed)
+	recordPerOp("E24", "map/disabled", tMapOff, *opsFlag)
+	recordPerOp("E24", "map/enabled", tMapOn, *opsFlag)
+	record("E24", "map/measured-overhead", "percent", mapMeasured)
+
+	// What the enabled runs gathered: the retry and probe-length
+	// distributions of the protocol under these workloads.
+	fmt.Println("\n    protocol events of the enabled runs:")
+	fmt.Print(indent(trace.StatsTable(snap, nil), "    "))
+	for c := histats.Counter(0); c < histats.NumCounters; c++ {
+		if v := snap.Counters[c]; v > 0 {
+			record("E24", "events/"+c.String(), "count", float64(v))
+		}
+	}
+	for _, h := range []histats.Hist{histats.HistProbeLen, histats.HistRelocDist, histats.HistBatchSize} {
+		hs := &snap.Hists[h]
+		if hs.Count == 0 {
+			continue
+		}
+		record("E24", "dist/"+h.String()+"/p50", "value", float64(hs.Quantile(0.50)))
+		record("E24", "dist/"+h.String()+"/p99", "value", float64(hs.Quantile(0.99)))
+	}
+
+	// The HI-boundary check: the same operation sequence, once with
+	// metrics enabled and once disabled, must leave bit-identical raw
+	// dumps — metrics observe the execution, never the representation.
+	build := func() *hihash.Set {
+		s := hihash.NewDisplaceSet(1024, 8)
+		for k := 1; k <= 512; k++ {
+			s.Insert(k)
+		}
+		for k := 3; k <= 512; k += 3 {
+			s.Remove(k)
+		}
+		s.Grow()
+		return s
+	}
+	plain := build()
+	histats.Enable()
+	instrumented := build()
+	histats.Disable()
+	identical := bytes.Equal(plain.RawDump(), instrumented.RawDump())
+	fmt.Printf("\n    HI boundary: raw dumps with metrics enabled vs disabled identical: %v\n", identical)
+	record("E24", "hi/rawdump-identical", "bool", b2f(identical))
+
+	if !identical {
+		return fmt.Errorf("E24: instrumentation leaked into the representation (raw dumps differ)")
+	}
+	if computed > *maxOverheadFlag {
+		return fmt.Errorf("E24: computed disabled-path overhead %.2f%% exceeds -maxoverhead %.2f%%",
+			computed, *maxOverheadFlag)
+	}
+	fmt.Printf("    gate: computed disabled-path overhead %.2f%% <= %.2f%% budget\n", computed, *maxOverheadFlag)
+	return nil
+}
+
+// measureDisabledSite times the disabled fast path of one instrumented
+// site: histats.Inc with no recorder installed.
+func measureDisabledSite() float64 {
+	const calls = 5_000_000
+	d := timeIt(func() {
+		for i := 0; i < calls; i++ {
+			histats.Inc(histats.CtrHashCASFail)
+		}
+	})
+	return float64(d.Nanoseconds()) / calls
+}
+
+func indent(s, prefix string) string {
+	var b bytes.Buffer
+	for _, line := range bytes.Split([]byte(s), []byte("\n")) {
+		if len(line) > 0 {
+			b.WriteString(prefix)
+			b.Write(line)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

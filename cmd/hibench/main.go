@@ -25,91 +25,64 @@
 //	      and the cost of recovering a crashed table to canonical, plus
 //	      the observer's own cost of building and byte-diffing history
 //	      twins.
+//	E24 — observability: the cost of the internal/histats metrics layer —
+//	      the unit price of a disabled site, enabled-vs-disabled A/B on
+//	      the E21/E22 workloads, a machine-checked bound on the computed
+//	      disabled-path overhead, the protocol-event distributions the
+//	      enabled run gathers, and a raw-dump identity check that metrics
+//	      stay outside the HI boundary.
 //
 // Absolute numbers depend on the machine; the paper makes no quantitative
 // claims, so the interesting output is the relative shape (see
 // EXPERIMENTS.md).
 //
 // With -json, each experiment family additionally writes a machine-
-// readable BENCH_<exp>.json file so the performance trajectory can be
-// tracked across commits.
+// readable BENCH_<exp>.json file (internal/benchfmt) so the performance
+// trajectory can be tracked across commits. With -check, fresh results
+// are compared against the committed documents and the run fails on
+// regression — the CI gate.
+//
+// With -watch, hibench instead runs a built-in mixed workload with
+// metrics enabled and redraws a live table of protocol counters and
+// latency histograms every -tick. With -http ADDR, any mode additionally
+// serves /debug/pprof (with block and mutex profiles enabled),
+// /debug/vars (expvar, including the histats tree) and a plain-text
+// /metrics endpoint.
 //
 // Usage:
 //
-//	hibench [-exp E10,E11,E12,E20,E21,E22,E23|all] [-ops N] [-procs list] [-json]
+//	hibench [-exp E10,...,E24|all] [-ops N] [-procs list] [-json]
+//	        [-check [-tol F] [-benchdir DIR]] [-maxoverhead PCT]
+//	        [-http ADDR] [-watch [-tick D] [-watchfor D]]
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
-
-	"hiconc/internal/conc"
-	"hiconc/internal/core"
-	"hiconc/internal/faultinject"
-	"hiconc/internal/hihash"
-	"hiconc/internal/shard"
-	"hiconc/internal/spec"
-	"hiconc/internal/workload"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20, E21, E22, E23 or 'all'")
+	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20, E21, E22, E23, E24 or 'all'")
 	opsFlag   = flag.Int("ops", 200000, "operations per measurement")
 	procsFlag = flag.String("procs", "1,2,4,8", "goroutine counts for E11")
 	jsonFlag  = flag.Bool("json", false, "write one BENCH_<exp>.json per experiment family")
+
+	checkFlag    = flag.Bool("check", false, "compare fresh results against committed BENCH_<exp>.json and fail on regression")
+	tolFlag      = flag.Float64("tol", 0.5, "-check relative tolerance (0.5 = 50% slower fails)")
+	benchdirFlag = flag.String("benchdir", ".", "directory holding the committed BENCH_<exp>.json files for -check")
+
+	maxOverheadFlag = flag.Float64("maxoverhead", 2.0, "E24 gate: maximum computed disabled-path metrics overhead, percent")
+
+	httpFlag = flag.String("http", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. localhost:6060)")
+
+	watchFlag    = flag.Bool("watch", false, "run a live workload and redraw the protocol-metrics table every -tick")
+	tickFlag     = flag.Duration("tick", 500*time.Millisecond, "-watch refresh interval")
+	watchForFlag = flag.Duration("watchfor", 10*time.Second, "how long -watch runs (0 = until interrupted)")
 )
-
-// jsonResult is one measurement row of a family's BENCH_<exp>.json.
-type jsonResult struct {
-	// Case identifies the measurement (impl and parameters).
-	Case string `json:"case"`
-	// Metric names the unit, e.g. "ns/op" or "reads/sec".
-	Metric string `json:"metric"`
-	// Value is the measurement.
-	Value float64 `json:"value"`
-}
-
-// results accumulates rows per experiment family for -json output.
-var results = map[string][]jsonResult{}
-
-// record stores one measurement row for -json output.
-func record(exp, kase, metric string, value float64) {
-	results[exp] = append(results[exp], jsonResult{Case: kase, Metric: metric, Value: value})
-}
-
-// recordPerOp stores a ns/op row computed from a duration over n ops.
-func recordPerOp(exp, kase string, d time.Duration, n int) {
-	record(exp, kase, "ns/op", float64(d.Nanoseconds())/float64(n))
-}
-
-// writeJSON emits one BENCH_<exp>.json per recorded family.
-func writeJSON() error {
-	for exp, rows := range results {
-		doc := struct {
-			Exp     string       `json:"exp"`
-			Ops     int          `json:"ops"`
-			Results []jsonResult `json:"results"`
-		}{Exp: exp, Ops: *opsFlag, Results: rows}
-		buf, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			return err
-		}
-		name := fmt.Sprintf("BENCH_%s.json", exp)
-		if err := os.WriteFile(name, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s (%d rows)\n", name, len(rows))
-	}
-	return nil
-}
 
 func main() {
 	flag.Parse()
@@ -144,6 +117,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	rec.Ops = *opsFlag
+	if *httpFlag != "" {
+		if err := startHTTP(*httpFlag); err != nil {
+			return err
+		}
+	}
+	if *watchFlag {
+		return runWatch(*tickFlag, *watchForFlag)
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.ToUpper(strings.TrimSpace(e))] = true
@@ -170,605 +152,25 @@ func run() error {
 	if all || want["E23"] {
 		runE23()
 	}
+	// E24's overhead gate must not stop the results from being written or
+	// checked; its error is reported after the bookkeeping below.
+	var gateErr error
+	if all || want["E24"] {
+		gateErr = runE24()
+	}
+	// Read the committed baselines before -json can overwrite them (the
+	// common CI invocation runs from the repository root with both flags).
+	var checkErr error
+	if *checkFlag {
+		checkErr = runCheck()
+	}
 	if *jsonFlag {
-		return writeJSON()
-	}
-	return nil
-}
-
-func runE10() {
-	fmt.Println("=== E10: SWSR register algorithms (native, single writer + single reader)")
-	fmt.Printf("%6s %12s %12s %12s %12s %12s\n", "K", "alg1 wr", "alg2 wr", "alg4 wr", "alg2 rd", "alg4 rd")
-	for _, k := range []int{4, 16, 64, 256} {
-		n := *opsFlag
-		g := workload.NewGen(1)
-		writes := g.RegisterWrites(n, k)
-
-		r1 := conc.NewAlg1Register(k, 1)
-		t1 := timeIt(func() {
-			for _, op := range writes {
-				r1.Write(op.Arg)
-			}
-		})
-		r2 := conc.NewAlg2Register(k, 1)
-		t2 := timeIt(func() {
-			for _, op := range writes {
-				r2.Write(op.Arg)
-			}
-		})
-		r4 := conc.NewAlg4Register(k, 1)
-		t4 := timeIt(func() {
-			for _, op := range writes {
-				r4.Write(op.Arg)
-			}
-		})
-		t2r := timeIt(func() {
-			for i := 0; i < n; i++ {
-				r2.Read()
-			}
-		})
-		t4r := timeIt(func() {
-			for i := 0; i < n; i++ {
-				r4.Read()
-			}
-		})
-		fmt.Printf("%6d %12s %12s %12s %12s %12s\n", k,
-			perOp(t1, n), perOp(t2, n), perOp(t4, n), perOp(t2r, n), perOp(t4r, n))
-		recordPerOp("E10", fmt.Sprintf("alg1-write/K=%d", k), t1, n)
-		recordPerOp("E10", fmt.Sprintf("alg2-write/K=%d", k), t2, n)
-		recordPerOp("E10", fmt.Sprintf("alg4-write/K=%d", k), t4, n)
-		recordPerOp("E10", fmt.Sprintf("alg2-read/K=%d", k), t2r, n)
-		recordPerOp("E10", fmt.Sprintf("alg4-read/K=%d", k), t4r, n)
-	}
-
-	fmt.Println("\n    reader under a write storm (K=64):")
-	fmt.Printf("%12s %14s %14s\n", "impl", "reads/sec", "retries/read")
-	for _, impl := range []string{"alg2", "alg4"} {
-		reads, retries := writeStorm(impl, 64, 200*time.Millisecond)
-		fmt.Printf("%12s %14.0f %14.4f\n", impl, reads, retries)
-		record("E10", impl+"-storm-reads", "reads/sec", reads)
-		record("E10", impl+"-storm-retries", "retries/read", retries)
-	}
-	fmt.Println("    (Algorithm 2's reader retries and can starve; Algorithm 4's reader")
-	fmt.Println("     is helped by the writer and never retries more than twice)")
-	fmt.Println()
-}
-
-// writeStorm hammers the register with writes while the reader reads for
-// the given duration; it returns reads/second and mean retries per read.
-func writeStorm(impl string, k int, d time.Duration) (readsPerSec, meanRetries float64) {
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	var r2 *conc.Alg2Register
-	var r4 *conc.Alg4Register
-	if impl == "alg2" {
-		r2 = conc.NewAlg2Register(k, 1)
-	} else {
-		r4 = conc.NewAlg4Register(k, 1)
-	}
-	wg.Add(1)
-	go func() { // writer storm
-		defer wg.Done()
-		v := 1
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			v = v%k + 1
-			if r2 != nil {
-				r2.Write(v)
-			} else {
-				r4.Write(v)
-			}
-		}
-	}()
-	reads, retries := 0, 0
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		if r2 != nil {
-			_, rt := r2.Read()
-			retries += rt
-		} else {
-			r4.Read()
-		}
-		reads++
-	}
-	close(stop)
-	wg.Wait()
-	return float64(reads) / d.Seconds(), float64(retries) / float64(reads)
-}
-
-func runE11(procs []int) {
-	fmt.Println("=== E11: universal construction scaling (counter, 80% updates)")
-	fmt.Printf("%6s %14s %14s %14s %14s\n", "procs", "universal-hi", "leaky", "mutex", "cas-nohelp")
-	for _, n := range procs {
-		row := make([]string, 0, 4)
-		for _, mk := range []func() conc.Applier{
-			func() conc.Applier { return conc.NewUniversal(conc.CounterObj{}, n) },
-			func() conc.Applier { return conc.NewLeakyUniversal(conc.CounterObj{}, n) },
-			func() conc.Applier { return conc.NewMutexObject(conc.CounterObj{}) },
-			func() conc.Applier { return conc.NewNoHelpUniversal(conc.CounterObj{}) },
-		} {
-			a := mk()
-			opsPer := *opsFlag / n
-			elapsed := timeIt(func() {
-				var wg sync.WaitGroup
-				for pid := 0; pid < n; pid++ {
-					wg.Add(1)
-					go func(pid int) {
-						defer wg.Done()
-						ops := workload.NewGen(int64(pid)).CounterMix(opsPer, 0.2)
-						for _, op := range ops {
-							a.Apply(pid, op)
-						}
-					}(pid)
-				}
-				wg.Wait()
-			})
-			row = append(row, perOp(elapsed, opsPer*n))
-			recordPerOp("E11", fmt.Sprintf("%s/procs=%d", a.Name(), n), elapsed, opsPer*n)
-		}
-		fmt.Printf("%6d %14s %14s %14s %14s\n", n, row[0], row[1], row[2], row[3])
-	}
-	fmt.Println("    (ns/op; universal-hi pays a constant factor over leaky for clearing,")
-	fmt.Println("     and over cas-nohelp for announcing+helping — the price of wait-free HI)")
-	fmt.Println()
-}
-
-func runE12() {
-	fmt.Println("=== E12: the cost of clearing (full Algorithm 5 vs non-clearing ablation)")
-	fmt.Printf("%10s %8s %14s %14s %10s\n", "object", "readFrac", "universal-hi", "leaky", "overhead")
-	for _, readFrac := range []float64{0.0, 0.5, 0.9} {
-		const n = 4
-		full := conc.NewUniversal(conc.CounterObj{}, n)
-		leaky := conc.NewLeakyUniversal(conc.CounterObj{}, n)
-		tFull := runCounter(full, n, *opsFlag/n, readFrac)
-		tLeaky := runCounter(leaky, n, *opsFlag/n, readFrac)
-		fmt.Printf("%10s %8.1f %14s %14s %9.2fx\n", "counter", readFrac,
-			perOp(tFull, *opsFlag), perOp(tLeaky, *opsFlag),
-			float64(tFull)/float64(tLeaky))
-		recordPerOp("E12", fmt.Sprintf("universal-hi/reads=%.1f", readFrac), tFull, *opsFlag)
-		recordPerOp("E12", fmt.Sprintf("leaky/reads=%.1f", readFrac), tLeaky, *opsFlag)
-	}
-	fmt.Println("    (overhead should be a modest constant factor — clearing adds one")
-	fmt.Println("     SC to head, one announce Store and the RL releases per operation)")
-}
-
-// measurePerKey runs one per-key measurement, records it for -json and
-// returns the formatted ns/op cell.
-func measurePerKey(exp, kase string, a conc.Applier, n int, mixes [][]core.Op) string {
-	d := runPerKey(a, n, *opsFlag/n, mixes)
-	recordPerOp(exp, kase, d, *opsFlag)
-	return perOp(d, *opsFlag)
-}
-
-func runE20() {
-	fmt.Println("=== E20: scale-out — sharding and operation combining")
-	const n = 8
-
-	fmt.Println("\n    shard scaling (Zipf s=1.01, 10% reads; ns/op):")
-	fmt.Printf("%10s %14s %14s %14s %14s\n", "object", "baseline", "S=1", "S=4", "S=16")
-	setDomain := 16384
-	setMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
-		return g.SetZipf(8192, setDomain, 1.01, 0.1)
-	})
-	row := []string{
-		measurePerKey("E20", "set/baseline", conc.NewUniversal(conc.BigSetObj{Words: setDomain / 64}, n), n, setMixes),
-		measurePerKey("E20", "set/S=1", shard.NewSet(n, setDomain, 1), n, setMixes),
-		measurePerKey("E20", "set/S=4", shard.NewSet(n, setDomain, 4), n, setMixes),
-		measurePerKey("E20", "set/S=16", shard.NewSet(n, setDomain, 16), n, setMixes),
-	}
-	fmt.Printf("%10s %14s %14s %14s %14s\n", "set", row[0], row[1], row[2], row[3])
-	mapKeys := 256
-	mapMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
-		return g.MapZipf(8192, mapKeys, 1.01, 0.1)
-	})
-	row = []string{
-		measurePerKey("E20", "map/baseline", conc.NewUniversal(conc.MultiCounterObj{}, n), n, mapMixes),
-		measurePerKey("E20", "map/S=1", shard.NewMap(n, mapKeys, 1), n, mapMixes),
-		measurePerKey("E20", "map/S=4", shard.NewMap(n, mapKeys, 4), n, mapMixes),
-		measurePerKey("E20", "map/S=16", shard.NewMap(n, mapKeys, 16), n, mapMixes),
-	}
-	fmt.Printf("%10s %14s %14s %14s %14s\n", "map", row[0], row[1], row[2], row[3])
-	fmt.Println("    (each update copies an immutable state 1/S the size, and on")
-	fmt.Println("     multicore hardware shards also update in parallel)")
-
-	fmt.Println("\n    combining ablation (100% updates, total contention; ns/op):")
-	fmt.Printf("%10s %14s %14s\n", "object", "plain", "combining")
-	ctrMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op { return g.CounterMix(8192, 0.0) })
-	fmt.Printf("%10s %14s %14s\n", "counter",
-		measurePerKey("E20", "counter/plain", conc.NewUniversal(conc.CounterObj{}, n), n, ctrMixes),
-		measurePerKey("E20", "counter/combining", conc.NewCombiningUniversal(conc.CounterObj{}, n), n, ctrMixes))
-	hotMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op { return g.MapZipf(8192, mapKeys, 1.5, 0.0) })
-	fmt.Printf("%10s %14s %14s\n", "map/S=4",
-		measurePerKey("E20", "map-hot/S=4/plain", shard.NewMap(n, mapKeys, 4), n, hotMixes),
-		measurePerKey("E20", "map-hot/S=4/combining", shard.NewCombiningMap(n, mapKeys, 4), n, hotMixes))
-	fmt.Println("    (a process whose SC fails folds all announced commuting ops into")
-	fmt.Println("     one batched SC — contention converts into useful batching)")
-}
-
-// insertRejectRate replays the mixes once, sequentially, on a fresh
-// instance and returns the fraction of inserts answered with
-// hihash.RspFull. Rejected inserts are cheaper than real ones (one load,
-// no CAS), so the rate qualifies the bounded tables' ns/op numbers; the
-// replay keeps the counting off the timed path.
-func insertRejectRate(a conc.Applier, mixes [][]core.Op) float64 {
-	inserts, fulls := 0, 0
-	for pid, ops := range mixes {
-		for _, op := range ops {
-			rsp := a.Apply(pid, op)
-			if op.Name == spec.OpInsert {
-				inserts++
-				if rsp == hihash.RspFull {
-					fulls++
-				}
-			}
+		if err := writeJSON(); err != nil {
+			return err
 		}
 	}
-	if inserts == 0 {
-		return 0
+	if checkErr != nil {
+		return checkErr
 	}
-	return float64(fulls) / float64(inserts)
-}
-
-func runE21() {
-	fmt.Println("=== E21: the HICHT direct hash table vs the universal-construction path")
-	const n, domain, mapKeys = 8, 16384, 256
-
-	fmt.Println("\n    set, 10% lookups, 8 goroutines (ns/op):")
-	fmt.Printf("%10s %16s %16s %18s %16s %12s\n",
-		"zipf", "hihash load=0.5", "hihash load=1.0", "sharded-universal", "sharded-hihash", "sync.Map")
-	type rejectRow struct {
-		zipf       float64
-		half, full float64
-	}
-	var rejects []rejectRow
-	for _, s := range []float64{1.01, 1.5} {
-		mixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
-			return g.SetZipf(8192, domain, s, 0.1)
-		})
-		tag := fmt.Sprintf("set/zipf=%.2f", s)
-		fmt.Printf("%10.2f %16s %16s %18s %16s %12s\n", s,
-			measurePerKey("E21", tag+"/hihash/load=0.5", hihash.NewSet(domain, domain/2), n, mixes),
-			measurePerKey("E21", tag+"/hihash/load=1.0", hihash.NewSet(domain, domain/4), n, mixes),
-			measurePerKey("E21", tag+"/sharded-universal/S=16", shard.NewSet(n, domain, 16), n, mixes),
-			measurePerKey("E21", tag+"/sharded-hihash/S=16", shard.NewHashSet(n, domain, 16), n, mixes),
-			measurePerKey("E21", tag+"/syncmap", conc.NewSyncMapSet(), n, mixes))
-		row := rejectRow{
-			zipf: s,
-			half: insertRejectRate(hihash.NewSet(domain, domain/2), mixes),
-			full: insertRejectRate(hihash.NewSet(domain, domain/4), mixes),
-		}
-		rejects = append(rejects, row)
-		record("E21", tag+"/hihash/load=0.5/reject", "reject-rate", row.half)
-		record("E21", tag+"/hihash/load=1.0/reject", "reject-rate", row.full)
-	}
-	fmt.Println("\n    insert rejection rate of the bounded tables (RspFull; a rejected")
-	fmt.Println("    insert is one load, cheaper than a real insert — qualify ns/op with")
-	fmt.Println("    it; sharded-hihash displaces since E22 and never rejects):")
-	for _, r := range rejects {
-		fmt.Printf("      zipf=%.2f: load=0.5 %.2f%%, load=1.0 %.2f%%\n",
-			r.zipf, 100*r.half, 100*r.full)
-	}
-
-	fmt.Println("\n    multi-counter map, 10% reads, Zipf s=1.2 (ns/op):")
-	fmt.Printf("%16s %18s %22s\n", "hihash-map", "sharded-universal", "sharded-combining")
-	mapMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
-		return g.MapZipf(8192, mapKeys, 1.2, 0.1)
-	})
-	fmt.Printf("%16s %18s %22s\n",
-		measurePerKey("E21", "map/hihash", hihash.NewMap(mapKeys, mapKeys/4), n, mapMixes),
-		measurePerKey("E21", "map/sharded-universal/S=16", shard.NewMap(n, mapKeys, 16), n, mapMixes),
-		measurePerKey("E21", "map/sharded-combining/S=16", shard.NewCombiningMap(n, mapKeys, 16), n, mapMixes))
-	fmt.Println("    (the direct table has no serialization point at all: lookups are one")
-	fmt.Println("     atomic load, updates one CAS on the key's bucket group — every")
-	fmt.Println("     relocation the canonical layout needs is folded into that CAS)")
-}
-
-// fullCounter wraps an applier and counts RspFull insert responses — the
-// E22 acceptance condition is that the displacing table produces zero.
-type fullCounter struct {
-	conc.Applier
-	fulls int64
-}
-
-func (f *fullCounter) Apply(pid int, op core.Op) int {
-	rsp := f.Applier.Apply(pid, op)
-	if op.Name == spec.OpInsert && rsp == hihash.RspFull {
-		atomic.AddInt64(&f.fulls, 1)
-	}
-	return rsp
-}
-
-// preload inserts keys 1..count via pid 0.
-func preload(a conc.Applier, count int) {
-	for k := 1; k <= count; k++ {
-		a.Apply(0, core.Op{Name: spec.OpInsert, Arg: k})
-	}
-}
-
-func runE22() {
-	fmt.Println("=== E22: the unbounded HICHT — displacement and online resize")
-	const n, domain = 8, 8192
-
-	// Load-factor sweep: the displacing table starts at capacity
-	// domain/2 and is preloaded to lf times that capacity; past lf = 1
-	// the bounded table of E21 would reject, the displacing one spills
-	// and grows. The bounded column is preloaded to the same load for a
-	// like-for-like row (its rejects are counted, not hidden — above
-	// load 1 part of its preload and workload is silently refused).
-	fmt.Println("\n    load-factor sweep (10% lookups, Zipf s=1.01, 8 goroutines; ns/op):")
-	fmt.Printf("%8s %16s %10s %10s %14s %18s %12s\n",
-		"load", "hihash-displace", "rejects", "groups", "bounded", "sharded-universal", "sync.Map")
-	g0 := domain / 8 // initial capacity domain/2
-	for _, lf := range []float64{0.5, 0.75, 1.0, 1.25, 1.5} {
-		load := int(lf * float64(g0) * hihash.SlotsPerGroup)
-		mixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
-			return g.SetZipf(8192, domain, 1.01, 0.1)
-		})
-		tag := fmt.Sprintf("set/load=%.2f", lf)
-
-		disp := &fullCounter{Applier: hihash.NewDisplaceSet(domain, g0)}
-		preload(disp, load)
-		dispCell := measurePerKey("E22", tag+"/hihash-displace", disp, n, mixes)
-		record("E22", tag+"/hihash-displace/rspfull", "count", float64(disp.fulls))
-		record("E22", tag+"/hihash-displace/groups", "groups", float64(disp.Applier.(*hihash.Set).NumGroups()))
-
-		bounded := &fullCounter{Applier: hihash.NewSet(domain, g0)}
-		preload(bounded, load)
-		boundedCell := measurePerKey("E22", tag+"/hihash-bounded", bounded, n, mixes)
-		record("E22", tag+"/hihash-bounded/rspfull", "count", float64(bounded.fulls))
-
-		uni := shard.NewSet(n, domain, 16)
-		preload(uni, load)
-		uniCell := measurePerKey("E22", tag+"/sharded-universal/S=16", uni, n, mixes)
-
-		sm := conc.NewSyncMapSet()
-		preload(sm, load)
-		smCell := measurePerKey("E22", tag+"/syncmap", sm, n, mixes)
-
-		fmt.Printf("%8.2f %16s %10d %10d %14s %18s %12s\n",
-			lf, dispCell, disp.fulls, disp.Applier.(*hihash.Set).NumGroups(),
-			boundedCell, uniCell, smCell)
-	}
-	fmt.Println("    (rejects must be 0 for hihash-displace at every load factor; the")
-	fmt.Println("     groups column shows the online resize absorbing load > 1)")
-
-	// Resize under load: fill the whole domain from 8 goroutines into a
-	// table that starts 64x too small, so the migration machinery runs
-	// about six times mid-storm; the pre-sized table is the no-resize
-	// ceiling.
-	fmt.Println("\n    resize under load (insert storm of the full domain, 8 goroutines; ns/op):")
-	fmt.Printf("%22s %16s %18s %12s\n", "hihash-displace(G=16)", "pre-sized", "sharded-universal", "sync.Map")
-	storm := func(a conc.Applier) time.Duration {
-		per := domain / n
-		return timeIt(func() {
-			var wg sync.WaitGroup
-			for pid := 0; pid < n; pid++ {
-				wg.Add(1)
-				go func(pid int) {
-					defer wg.Done()
-					for i := 0; i < per; i++ {
-						key := pid*per + i + 1
-						a.Apply(pid, core.Op{Name: spec.OpInsert, Arg: key})
-						if i%10 == 9 {
-							a.Apply(pid, core.Op{Name: spec.OpLookup, Arg: key})
-						}
-					}
-				}(pid)
-			}
-			wg.Wait()
-		})
-	}
-	stormOps := domain + domain/10
-	growing := &fullCounter{Applier: hihash.NewDisplaceSet(domain, 16)}
-	tGrow := storm(growing)
-	recordPerOp("E22", "storm/hihash-displace/G0=16", tGrow, stormOps)
-	record("E22", "storm/hihash-displace/rspfull", "count", float64(growing.fulls))
-	record("E22", "storm/hihash-displace/groups", "groups", float64(growing.Applier.(*hihash.Set).NumGroups()))
-	tPre := storm(hihash.NewDisplaceSet(domain, domain/2))
-	recordPerOp("E22", "storm/hihash-presized", tPre, stormOps)
-	tUni := storm(shard.NewSet(n, domain, 16))
-	recordPerOp("E22", "storm/sharded-universal/S=16", tUni, stormOps)
-	tSM := storm(conc.NewSyncMapSet())
-	recordPerOp("E22", "storm/syncmap", tSM, stormOps)
-	fmt.Printf("%22s %16s %18s %12s\n",
-		perOp(tGrow, stormOps), perOp(tPre, stormOps), perOp(tUni, stormOps), perOp(tSM, stormOps))
-	fmt.Printf("    (grew to %d groups with %d rejects; resize cost is the gap to pre-sized)\n",
-		growing.Applier.(*hihash.Set).NumGroups(), growing.fulls)
-
-	// The map side: the pointer-bucket map growing online from 4 buckets
-	// vs pre-sized vs the sharded universal construction.
-	fmt.Println("\n    multi-counter map, growing online (Zipf s=1.2, 10% reads; ns/op):")
-	const mapKeys = 4096
-	mapMixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
-		return g.MapZipf(8192, mapKeys, 1.2, 0.1)
-	})
-	growMap := hihash.NewMap(mapKeys, 4)
-	growCell := measurePerKey("E22", "map/hihash-growing/B0=4", growMap, n, mapMixes)
-	record("E22", "map/hihash-growing/buckets", "buckets", float64(growMap.NumBuckets()))
-	fmt.Printf("%22s %16s %18s\n", "hihash-map(B0=4)", "pre-sized", "sharded-universal")
-	fmt.Printf("%22s %16s %18s\n",
-		growCell,
-		measurePerKey("E22", "map/hihash-presized", hihash.NewMap(mapKeys, mapKeys/4), n, mapMixes),
-		measurePerKey("E22", "map/sharded-universal/S=16", shard.NewMap(n, mapKeys, 16), n, mapMixes))
-	fmt.Printf("    (the growing map settled at %d buckets)\n", growMap.NumBuckets())
-}
-
-// e23Script builds the displacing victim workload of the E23 crash
-// matrix, mirroring the internal/faultinject tests: overload group 0
-// past its slot budget (forcing eviction), churn one key (forcing a
-// flagged remove and a backward-shift pull), then grow (forcing a
-// drain). It returns the steps, the key set the script converges to,
-// and the abstract states reachable after each step (nil first — the
-// empty set — so crash images can be diffed against every candidate).
-func e23Script(domain, groups int) (ops []func(s *hihash.Set), heavy []int, candidates [][]int) {
-	for k := 1; k <= domain && len(heavy) < hihash.SlotsPerGroup+1; k++ {
-		if hihash.GroupOf(k, groups) == 0 {
-			heavy = append(heavy, k)
-		}
-	}
-	candidates = append(candidates, nil)
-	for i := range heavy {
-		k := heavy[i]
-		ops = append(ops, func(s *hihash.Set) { s.Insert(k) })
-		candidates = append(candidates, append([]int(nil), heavy[:i+1]...))
-	}
-	churn := heavy[2]
-	without := make([]int, 0, len(heavy)-1)
-	for _, k := range heavy {
-		if k != churn {
-			without = append(without, k)
-		}
-	}
-	ops = append(ops,
-		func(s *hihash.Set) { s.Remove(churn) },
-		func(s *hihash.Set) { s.Insert(churn) },
-		func(s *hihash.Set) { s.Grow() },
-	)
-	candidates = append(candidates, without, heavy, heavy)
-	return ops, heavy, candidates
-}
-
-func runE23() {
-	fmt.Println("=== E23: adversarial observers — crash exposure and recovery cost")
-	const domain, groups = 8, 2
-	ops, heavy, candidates := e23Script(domain, groups)
-
-	// The Kill matrix as a measurement: per steppoint, how many crash
-	// cells the workload reaches, how far the worst stable-geometry image
-	// strays from canonical, and what repairing the wreckage costs.
-	fmt.Println("\n    Kill matrix (displacing set; dist = 64-bit words from the nearest")
-	fmt.Println("    reachable canonical layout; recovery = re-settle keys + grow):")
-	fmt.Printf("%16s %8s %10s %10s %14s\n", "steppoint", "cells", "mid-drain", "max dist", "recovery")
-	const maxOccurrences = 128
-	for sp := hihash.Steppoint(0); sp < hihash.NumSteppoints; sp++ {
-		cells, mid, maxDist := 0, 0, 0
-		var recovery time.Duration
-		for occ := 1; occ <= maxOccurrences; occ++ {
-			s := hihash.NewDisplaceSet(domain, groups)
-			in := faultinject.Install(faultinject.Plan{Point: sp, Occurrence: occ, Action: faultinject.Kill})
-			var wg sync.WaitGroup
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for _, op := range ops {
-					op(s)
-				}
-			}()
-			wg.Wait()
-			in.Uninstall()
-			if !in.DidFire() {
-				break // the workload fires sp fewer than occ times
-			}
-			cells++
-			if d := faultinject.MinCanonicalDistance(s, candidates); d < 0 {
-				mid++ // mid-drain image spans two arrays; geometries differ
-			} else if d > maxDist {
-				maxDist = d
-			}
-			recovery += timeIt(func() {
-				for _, k := range heavy {
-					s.Insert(k)
-				}
-				s.Grow()
-			})
-		}
-		if cells == 0 {
-			continue
-		}
-		perRecovery := float64(recovery.Nanoseconds()) / float64(cells)
-		fmt.Printf("%16s %8d %10d %10d %11.0f ns\n", sp, cells, mid, maxDist, perRecovery)
-		tag := "kill/" + sp.String()
-		record("E23", tag+"/cells", "count", float64(cells))
-		record("E23", tag+"/mid-drain", "count", float64(mid))
-		record("E23", tag+"/max-distance", "words", float64(maxDist))
-		record("E23", tag+"/recovery", "ns/recovery", perRecovery)
-	}
-	fmt.Println("    (mid-drain cells are incomparable by geometry, not exposed: the")
-	fmt.Println("     image spans two group arrays; every cell recovers to canonical)")
-
-	// The observer's own cost: building one history-twin pair (ascending
-	// vs descending insert order, both forcing displacement) and
-	// byte-diffing their raw dumps — the unit price of the E23 twin check.
-	pairs := *opsFlag / 2000
-	if pairs < 50 {
-		pairs = 50
-	}
-	mismatches := 0
-	tTwin := timeIt(func() {
-		for i := 0; i < pairs; i++ {
-			a := hihash.NewDisplaceSet(domain, groups)
-			b := hihash.NewDisplaceSet(domain, groups)
-			for _, k := range heavy {
-				a.Insert(k)
-			}
-			for j := len(heavy) - 1; j >= 0; j-- {
-				b.Insert(heavy[j])
-			}
-			if !bytes.Equal(a.RawDump(), b.RawDump()) {
-				mismatches++
-			}
-		}
-	})
-	fmt.Printf("\n    twin check (build 2 displacing tables + raw-dump + byte-diff): %s/pair, %d pairs, %d mismatches\n",
-		perOp(tTwin, pairs), pairs, mismatches)
-	record("E23", "twin/displace-pair", "ns/pair", float64(tTwin.Nanoseconds())/float64(pairs))
-	record("E23", "twin/displace-mismatches", "count", float64(mismatches))
-}
-
-// perKeyMixes builds one seeded per-key mix per goroutine.
-func perKeyMixes(n int, mk func(g *workload.Gen) []core.Op) [][]core.Op {
-	mixes := make([][]core.Op, n)
-	for pid := range mixes {
-		mixes[pid] = mk(workload.NewGen(int64(pid)))
-	}
-	return mixes
-}
-
-// runPerKey drives applier a with n goroutines replaying per-key mixes.
-func runPerKey(a conc.Applier, n, opsPer int, mixes [][]core.Op) time.Duration {
-	return timeIt(func() {
-		var wg sync.WaitGroup
-		for pid := 0; pid < n; pid++ {
-			wg.Add(1)
-			go func(pid int) {
-				defer wg.Done()
-				ops := mixes[pid]
-				for i := 0; i < opsPer; i++ {
-					a.Apply(pid, ops[i%len(ops)])
-				}
-			}(pid)
-		}
-		wg.Wait()
-	})
-}
-
-func runCounter(a conc.Applier, n, opsPer int, readFrac float64) time.Duration {
-	return timeIt(func() {
-		var wg sync.WaitGroup
-		for pid := 0; pid < n; pid++ {
-			wg.Add(1)
-			go func(pid int) {
-				defer wg.Done()
-				ops := workload.NewGen(100+int64(pid)).CounterMix(opsPer, readFrac)
-				for _, op := range ops {
-					a.Apply(pid, op)
-				}
-			}(pid)
-		}
-		wg.Wait()
-	})
-}
-
-func timeIt(f func()) time.Duration {
-	start := time.Now()
-	f()
-	return time.Since(start)
-}
-
-func perOp(d time.Duration, n int) string {
-	return fmt.Sprintf("%.1f ns", float64(d.Nanoseconds())/float64(n))
+	return gateErr
 }

@@ -6,6 +6,9 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
+
+	"hiconc/internal/benchfmt"
 )
 
 // captureStdout runs f with os.Stdout redirected and returns what it
@@ -28,20 +31,51 @@ func captureStdout(t *testing.T, f func() error) string {
 	return string(out)
 }
 
-// TestSmoke runs two benchmark families with tiny parameters and -json,
+// captureStdoutErr is captureStdout for runs whose error the test wants
+// to inspect instead of failing on.
+func captureStdoutErr(f func() error) (string, error) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		return "", err
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	return string(out), ferr
+}
+
+// resetBench gives each smoke test a fresh recorder and baseline flags
+// (the flag globals are shared package state).
+func resetBench(t *testing.T) {
+	t.Helper()
+	rec = benchfmt.NewRecorder()
+	*expFlag = "all"
+	*opsFlag = 2000
+	*jsonFlag = false
+	*checkFlag = false
+	*tolFlag = 0.5
+	*maxOverheadFlag = 2.0
+	*watchFlag = false
+	*httpFlag = ""
+}
+
+// TestSmoke runs benchmark families with tiny parameters and -json,
 // and checks that the machine-readable results are written and parse.
 func TestSmoke(t *testing.T) {
 	t.Chdir(t.TempDir())
-	*expFlag = "E10,E21,E22,E23"
-	*opsFlag = 2000
+	resetBench(t)
+	*expFlag = "E10,E21,E22,E23,E24"
 	*jsonFlag = true
 	out := captureStdout(t, run)
-	for _, want := range []string{"E10", "E21", "E22", "E23", "ns"} {
+	for _, want := range []string{"E10", "E21", "E22", "E23", "E24", "ns", "raw dumps with metrics enabled vs disabled identical: true"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	for _, name := range []string{"BENCH_E10.json", "BENCH_E21.json", "BENCH_E22.json", "BENCH_E23.json"} {
+	for _, name := range []string{"BENCH_E10.json", "BENCH_E21.json", "BENCH_E22.json", "BENCH_E23.json", "BENCH_E24.json"} {
 		buf, err := os.ReadFile(name)
 		if err != nil {
 			t.Fatalf("missing %s: %v", name, err)
@@ -62,10 +96,89 @@ func TestSmoke(t *testing.T) {
 		}
 		for _, r := range doc.Results {
 			// Latency and throughput rows must be positive; counters like
-			// retries/read may legitimately be zero.
-			if r.Case == "" || r.Metric == "" || r.Value < 0 || (r.Metric == "ns/op" && r.Value == 0) {
+			// retries/read may legitimately be zero, and a measured A/B
+			// overhead percentage can dip negative in timing noise.
+			if r.Case == "" || r.Metric == "" || (r.Value < 0 && r.Metric != "percent") || (r.Metric == "ns/op" && r.Value == 0) {
 				t.Errorf("%s has a malformed row: %+v", name, r)
 			}
 		}
+	}
+	// E24's machine-checked rows: the overhead gate input and the HI
+	// boundary verdict must be present.
+	e24, err := benchfmt.ReadFile("BENCH_E24.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e24.Find("set/computed-overhead", "percent") == nil {
+		t.Error("BENCH_E24.json missing the computed-overhead row")
+	}
+	if r := e24.Find("hi/rawdump-identical", "bool"); r == nil || r.Value != 1 {
+		t.Errorf("BENCH_E24.json HI-boundary row missing or false: %+v", r)
+	}
+}
+
+// TestWatchSmoke drives the live-metrics view for a few ticks.
+func TestWatchSmoke(t *testing.T) {
+	resetBench(t)
+	*watchFlag = true
+	*tickFlag = 50 * time.Millisecond
+	*watchForFlag = 250 * time.Millisecond
+	out := captureStdout(t, run)
+	for _, want := range []string{"hibench -watch", "counter", "hash-insert", "final cumulative"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCheckSmoke runs a family against a committed baseline scaled far
+// above the fresh numbers (must pass), then far below (must fail). Two
+// honest tiny runs can legitimately differ by orders of magnitude in
+// scheduler noise, so the baselines are synthesized from one real run
+// rather than compared against a rerun.
+func TestCheckSmoke(t *testing.T) {
+	t.Chdir(t.TempDir())
+	resetBench(t)
+	*expFlag = "E10"
+	*jsonFlag = true
+	captureStdout(t, run)
+
+	scaleBaseline := func(factor float64) {
+		t.Helper()
+		committed, err := benchfmt.ReadFile("BENCH_E10.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range committed.Results {
+			if committed.Results[i].Metric == "ns/op" {
+				committed.Results[i].Value *= factor
+			}
+		}
+		buf, _ := json.Marshal(committed)
+		if err := os.WriteFile("BENCH_E10.json", buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	*jsonFlag = false
+	*checkFlag = true
+	scaleBaseline(1000) // committed far slower: fresh run must pass
+	rec = benchfmt.NewRecorder()
+	out := captureStdout(t, run)
+	if !strings.Contains(out, "E10 vs committed") {
+		t.Errorf("check output missing the E10 delta table:\n%s", out)
+	}
+
+	scaleBaseline(1e-6) // committed far faster: fresh run must regress
+	rec = benchfmt.NewRecorder()
+	out, err := captureStdoutErr(run)
+	if err == nil {
+		t.Fatalf("expected a regression failure, got success:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("regressed rows not marked FAIL:\n%s", out)
 	}
 }

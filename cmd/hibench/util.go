@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiconc/internal/benchfmt"
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/spec"
+	"hiconc/internal/workload"
+)
+
+// rec accumulates measurement rows per experiment family for -json and
+// -check output (internal/benchfmt owns the document schema).
+var rec = benchfmt.NewRecorder()
+
+// record stores one measurement row.
+func record(exp, kase, metric string, value float64) {
+	rec.Record(exp, kase, metric, value)
+}
+
+// recordPerOp stores a ns/op row computed from a duration over n ops.
+func recordPerOp(exp, kase string, d time.Duration, n int) {
+	rec.RecordPerOp(exp, kase, d, n)
+}
+
+// writeJSON emits one BENCH_<exp>.json per recorded family.
+func writeJSON() error {
+	names, err := rec.WriteFiles(".")
+	for _, name := range names {
+		fmt.Printf("wrote %s\n", name)
+	}
+	return err
+}
+
+// measurePerKey runs one per-key measurement, records it for -json and
+// returns the formatted ns/op cell.
+func measurePerKey(exp, kase string, a conc.Applier, n int, mixes [][]core.Op) string {
+	d := runPerKey(a, n, *opsFlag/n, mixes)
+	recordPerOp(exp, kase, d, *opsFlag)
+	return perOp(d, *opsFlag)
+}
+
+// perKeyMixes builds one seeded per-key mix per goroutine.
+func perKeyMixes(n int, mk func(g *workload.Gen) []core.Op) [][]core.Op {
+	mixes := make([][]core.Op, n)
+	for pid := range mixes {
+		mixes[pid] = mk(workload.NewGen(int64(pid)))
+	}
+	return mixes
+}
+
+// runPerKey drives applier a with n goroutines replaying per-key mixes.
+func runPerKey(a conc.Applier, n, opsPer int, mixes [][]core.Op) time.Duration {
+	return timeIt(func() {
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				ops := mixes[pid]
+				for i := 0; i < opsPer; i++ {
+					a.Apply(pid, ops[i%len(ops)])
+				}
+			}(pid)
+		}
+		wg.Wait()
+	})
+}
+
+func runCounter(a conc.Applier, n, opsPer int, readFrac float64) time.Duration {
+	return timeIt(func() {
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				ops := workload.NewGen(100+int64(pid)).CounterMix(opsPer, readFrac)
+				for _, op := range ops {
+					a.Apply(pid, op)
+				}
+			}(pid)
+		}
+		wg.Wait()
+	})
+}
+
+// fullCounter wraps an applier and counts RspFull insert responses — the
+// E22 acceptance condition is that the displacing table produces zero.
+type fullCounter struct {
+	conc.Applier
+	fulls int64
+}
+
+func (f *fullCounter) Apply(pid int, op core.Op) int {
+	rsp := f.Applier.Apply(pid, op)
+	if op.Name == spec.OpInsert && rsp == hihash.RspFull {
+		atomic.AddInt64(&f.fulls, 1)
+	}
+	return rsp
+}
+
+// preload inserts keys 1..count via pid 0.
+func preload(a conc.Applier, count int) {
+	for k := 1; k <= count; k++ {
+		a.Apply(0, core.Op{Name: spec.OpInsert, Arg: k})
+	}
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func perOp(d time.Duration, n int) string {
+	return fmt.Sprintf("%.1f ns", float64(d.Nanoseconds())/float64(n))
+}

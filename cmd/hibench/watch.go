@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiconc/internal/histats"
+	"hiconc/internal/obj"
+	"hiconc/internal/shard"
+	"hiconc/internal/spec"
+	"hiconc/internal/trace"
+	"hiconc/internal/workload"
+)
+
+// runWatch drives a built-in mixed workload (the instrumented HashSet
+// plus a sharded combining map) with metrics enabled, and redraws a live
+// table of protocol counters and latency histograms every tick. With
+// dur > 0 it stops after that long and prints a final cumulative table;
+// with dur = 0 it runs until the process is interrupted.
+func runWatch(tick, dur time.Duration) error {
+	const n, domain, mapKeys = 8, 16384, 256
+	r := histats.Enable()
+	defer histats.Disable()
+
+	set := obj.NewHashSetWithGroups(domain, domain/8)
+	cmap := shard.NewCombiningMap(n, mapKeys, 4)
+	stop := make(chan struct{})
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			g := workload.NewGen(int64(pid))
+			setMix := g.SetZipf(8192, domain, 1.01, 0.1)
+			mapMix := g.MapZipf(2048, mapKeys, 1.5, 0.1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := setMix[i%len(setMix)]
+				start := time.Now()
+				switch op.Name {
+				case spec.OpInsert:
+					set.Insert(op.Arg)
+				case spec.OpRemove:
+					set.Remove(op.Arg)
+				default:
+					set.Contains(op.Arg)
+				}
+				el := uint64(time.Since(start).Nanoseconds())
+				if op.Name == spec.OpLookup {
+					histats.Observe(histats.HistLookupNanos, el)
+				} else {
+					histats.Observe(histats.HistUpdateNanos, el)
+				}
+				if i%4 == 3 {
+					cmap.Apply(pid, mapMix[i%len(mapMix)])
+				}
+				ops.Add(1)
+			}
+		}(pid)
+	}
+
+	start := time.Now()
+	prev := r.Snapshot()
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for range ticker.C {
+		cur := r.Snapshot()
+		fmt.Print("\033[H\033[2J") // clear the terminal, cursor home
+		fmt.Printf("hibench -watch   %v elapsed   %d ops   %d goroutines\n\n",
+			time.Since(start).Round(time.Second), ops.Load(), n)
+		fmt.Print(trace.StatsTable(cur, prev))
+		prev = cur
+		if dur > 0 && time.Since(start) >= dur {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Printf("\nfinal cumulative view after %v:\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(trace.StatsTable(r.Snapshot(), nil))
+	return nil
+}

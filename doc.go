@@ -57,9 +57,21 @@
 //   - internal/obj — the user-facing objects (Counter, Register,
 //     MaxRegister, Queue, Stack, Set, ShardedSet, ShardedMap, HashSet,
 //     HashMap);
+//   - internal/faultinject — the executable HI adversary: deterministic
+//     crash injection at the tables' labeled protocol steppoints, raw
+//     memory dumps and the canonical-distance differ (E23);
+//   - internal/histats — the observability layer: per-goroutine-sharded
+//     atomic counters and log-bucketed latency histograms behind one
+//     global hook pointer, so the disabled path is a single atomic
+//     nil-check; metrics live outside the HI boundary by construction
+//     and by machine check (E24);
+//   - internal/benchfmt — the BENCH_<exp>.json document schema, the
+//     recorder the drivers share, and the regression comparator behind
+//     hibench -check;
 //   - internal/workload — seeded operation-mix generators (uniform and
 //     Zipf-skewed per-key mixes) for benchmarks and drivers;
-//   - internal/trace — paper-figure-style execution rendering;
+//   - internal/trace — paper-figure-style execution rendering, plus the
+//     live protocol-metrics table behind hibench -watch;
 //   - cmd/hiverify, cmd/histarve, cmd/hibench, cmd/hitrace — the
 //     experiment drivers (see EXPERIMENTS.md).
 //

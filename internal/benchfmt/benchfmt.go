@@ -1,0 +1,139 @@
+// Package benchfmt is the machine-readable side of cmd/hibench: the
+// BENCH_<exp>.json document shape, a recorder that accumulates
+// measurement rows per experiment family, and the regression comparison
+// the -check gate runs against committed documents.
+//
+// The document schema is fixed (it is committed to the repository and
+// diffed across commits):
+//
+//	{"exp": "E21", "ops": 200000, "results": [
+//	  {"case": "set/zipf=1.01/hihash/load=0.5", "metric": "ns/op", "value": 53.6},
+//	  ...]}
+//
+// A case name identifies the implementation and parameters; the metric
+// names the unit. Only "ns/op" rows participate in regression gating —
+// counts, rates and distribution rows are informational.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Row is one measurement of one case.
+type Row struct {
+	// Case identifies the measurement (impl and parameters).
+	Case string `json:"case"`
+	// Metric names the unit, e.g. "ns/op" or "reads/sec".
+	Metric string `json:"metric"`
+	// Value is the measurement.
+	Value float64 `json:"value"`
+}
+
+// File is one BENCH_<exp>.json document.
+type File struct {
+	Exp     string `json:"exp"`
+	Ops     int    `json:"ops"`
+	Results []Row  `json:"results"`
+}
+
+// Filename returns the canonical file name of the document.
+func (f *File) Filename() string { return "BENCH_" + f.Exp + ".json" }
+
+// Find returns the first row matching (kase, metric), or nil.
+func (f *File) Find(kase, metric string) *Row {
+	for i := range f.Results {
+		if f.Results[i].Case == kase && f.Results[i].Metric == metric {
+			return &f.Results[i]
+		}
+	}
+	return nil
+}
+
+// Recorder accumulates rows per experiment family. It is not safe for
+// concurrent use — experiments record from the driver goroutine.
+type Recorder struct {
+	// Ops is the -ops setting stamped into every written document.
+	Ops      int
+	families map[string][]Row
+	order    []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{families: map[string][]Row{}}
+}
+
+// Record stores one measurement row under experiment family exp.
+func (r *Recorder) Record(exp, kase, metric string, value float64) {
+	if _, ok := r.families[exp]; !ok {
+		r.order = append(r.order, exp)
+	}
+	r.families[exp] = append(r.families[exp], Row{Case: kase, Metric: metric, Value: value})
+}
+
+// RecordPerOp stores a ns/op row computed from a duration over n ops.
+func (r *Recorder) RecordPerOp(exp, kase string, d time.Duration, n int) {
+	r.Record(exp, kase, "ns/op", float64(d.Nanoseconds())/float64(n))
+}
+
+// Families returns the recorded experiment names in first-recorded order.
+func (r *Recorder) Families() []string {
+	return append([]string(nil), r.order...)
+}
+
+// File assembles the document of one recorded family.
+func (r *Recorder) File(exp string) File {
+	return File{Exp: exp, Ops: r.Ops, Results: append([]Row(nil), r.families[exp]...)}
+}
+
+// WriteFiles emits one BENCH_<exp>.json per recorded family into dir,
+// returning the written file names.
+func (r *Recorder) WriteFiles(dir string) ([]string, error) {
+	var names []string
+	for _, exp := range r.order {
+		f := r.File(exp)
+		buf, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return names, err
+		}
+		name := f.Filename()
+		if err := os.WriteFile(filepath.Join(dir, name), append(buf, '\n'), 0o644); err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// ReadFile parses one BENCH_<exp>.json document.
+func ReadFile(path string) (File, error) {
+	var f File
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Exp == "" {
+		return f, fmt.Errorf("%s: missing exp field", path)
+	}
+	return f, nil
+}
+
+// sortRows orders rows by (case, metric) for stable comparison output.
+func sortRows(rows []Row) []Row {
+	out := append([]Row(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Case != out[j].Case {
+			return out[i].Case < out[j].Case
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}

@@ -1,0 +1,89 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRoundTrip: recorded rows survive write + read with the committed
+// schema intact.
+func TestRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Ops = 5000
+	r.Record("E21", "set/a", "ns/op", 53.5)
+	r.RecordPerOp("E21", "set/b", 100*time.Millisecond, 1000)
+	r.Record("E22", "storm/x", "count", 0)
+	names, err := r.WriteFiles(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "BENCH_E21.json" || names[1] != "BENCH_E22.json" {
+		t.Fatalf("wrote %v", names)
+	}
+	dir := t.TempDir()
+	if _, err := r.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(filepath.Join(dir, "BENCH_E21.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Exp != "E21" || f.Ops != 5000 || len(f.Results) != 2 {
+		t.Fatalf("read back %+v", f)
+	}
+	if row := f.Find("set/b", "ns/op"); row == nil || row.Value != 100000 {
+		t.Fatalf("per-op row = %+v", row)
+	}
+	if got := r.Families(); len(got) != 2 || got[0] != "E21" {
+		t.Fatalf("families = %v", got)
+	}
+}
+
+// TestReadFileRejectsGarbage: a truncated or foreign JSON file is an
+// error, not a silently empty baseline.
+func TestReadFileRejectsGarbage(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestCompare: the gate passes within tolerance, fails beyond it, fails
+// on missing cases, and ignores non-latency metrics.
+func TestCompare(t *testing.T) {
+	committed := File{Exp: "E21", Results: []Row{
+		{Case: "a", Metric: "ns/op", Value: 100},
+		{Case: "b", Metric: "ns/op", Value: 100},
+		{Case: "c", Metric: "ns/op", Value: 100},
+		{Case: "d", Metric: "count", Value: 7}, // not gated
+	}}
+	fresh := File{Exp: "E21", Results: []Row{
+		{Case: "a", Metric: "ns/op", Value: 120},  // within 50%
+		{Case: "b", Metric: "ns/op", Value: 200},  // regressed
+		{Case: "d", Metric: "count", Value: 9000}, // ignored
+		// c missing entirely
+	}}
+	deltas, regressions := Compare(committed, fresh, 0.5)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (b regressed, c missing)", regressions)
+	}
+	byCase := map[string]Delta{}
+	for _, d := range deltas {
+		byCase[d.Case] = d
+	}
+	if byCase["a"].Regressed || !byCase["b"].Regressed || !byCase["c"].Missing {
+		t.Fatalf("verdicts wrong: %+v", byCase)
+	}
+	var sb strings.Builder
+	WriteDeltas(&sb, "E21", deltas, 0.5)
+	out := sb.String()
+	for _, want := range []string{"ok   a", "FAIL b", "missing from fresh run", "tolerance 50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+)
+
+// The regression gate: a fresh run of an experiment family is compared
+// row-by-row against the committed BENCH_<exp>.json. Only latency rows
+// ("ns/op", lower is better) gate; other metrics (counts, rates,
+// distribution stats) ride along as context. A gated row regresses when
+// fresh > committed * (1 + tol); a gated committed row with no fresh
+// counterpart (a renamed or dropped case) also fails, so the gate cannot
+// be dodged by renaming.
+
+// Delta is one compared row.
+type Delta struct {
+	Case   string
+	Metric string
+	// Old is the committed value, New the fresh one.
+	Old, New float64
+	// Ratio is New/Old (0 when Old is 0).
+	Ratio float64
+	// Missing marks a committed gated row absent from the fresh run.
+	Missing bool
+	// Regressed marks a gated row beyond tolerance (or missing).
+	Regressed bool
+}
+
+// gated reports whether a metric participates in regression gating.
+func gated(metric string) bool { return metric == "ns/op" }
+
+// Compare evaluates fresh against committed with relative tolerance tol
+// (0.5 = fresh may be up to 50% slower). It returns every gated delta
+// (stable order) and the count of regressions.
+func Compare(committed, fresh File, tol float64) (deltas []Delta, regressions int) {
+	for _, old := range sortRows(committed.Results) {
+		if !gated(old.Metric) {
+			continue
+		}
+		d := Delta{Case: old.Case, Metric: old.Metric, Old: old.Value}
+		if row := fresh.Find(old.Case, old.Metric); row == nil {
+			d.Missing = true
+			d.Regressed = true
+		} else {
+			d.New = row.Value
+			if old.Value > 0 {
+				d.Ratio = row.Value / old.Value
+			}
+			d.Regressed = d.Ratio > 1+tol
+		}
+		if d.Regressed {
+			regressions++
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, regressions
+}
+
+// WriteDeltas renders a comparison table, marking regressed rows.
+func WriteDeltas(w io.Writer, exp string, deltas []Delta, tol float64) {
+	fmt.Fprintf(w, "    %s vs committed (tolerance %.0f%%):\n", exp, 100*tol)
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			fmt.Fprintf(w, "      FAIL %-50s committed %.1f, missing from fresh run\n", d.Case, d.Old)
+		case d.Regressed:
+			fmt.Fprintf(w, "      FAIL %-50s %.1f -> %.1f ns/op (%.2fx)\n", d.Case, d.Old, d.New, d.Ratio)
+		default:
+			fmt.Fprintf(w, "      ok   %-50s %.1f -> %.1f ns/op (%.2fx)\n", d.Case, d.Old, d.New, d.Ratio)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"hiconc/internal/core"
+	"hiconc/internal/histats"
 	"hiconc/internal/spec"
 )
 
@@ -198,6 +199,7 @@ func (u *Universal) applyUpdate(i int, op core.Op) int {
 		if len(h.recs) == 0 { // Line 7: mode A
 			var st any
 			var recs []rspRec
+			combined, helped := false, false
 			if u.comb != nil && contended {
 				batch, ok := u.gatherBatch(i, op, *prio)
 				if !ok { // Line 11
@@ -210,11 +212,13 @@ func (u *Universal) applyUpdate(i int, op core.Op) int {
 					st, rsp = u.obj.Apply(st, b.op) // Line 13
 					recs[k] = rspRec{rsp: rsp, proc: b.proc}
 				}
+				combined = true
 			} else {
 				var applyOp core.Op
 				var j int
 				if help := u.loadAnn(*prio); help.kind == annOp { // Lines 8-9
 					applyOp, j = help.op, *prio
+					helped = j != i
 				} else {
 					if u.loadAnn(i).kind != annOp { // Line 11
 						continue
@@ -226,9 +230,17 @@ func (u *Universal) applyUpdate(i int, op core.Op) int {
 				recs = []rspRec{{rsp: rsp, proc: j}}
 			}
 			if u.head.SC(i, headState{state: st, recs: recs}) { // Line 14
+				if combined {
+					histats.Inc(histats.CtrCombineBatch)
+					histats.Observe(histats.HistBatchSize, uint64(len(recs)))
+				}
+				if helped {
+					histats.Inc(histats.CtrUniversalHelp)
+				}
 				*prio = (*prio + 1) % u.n // Line 15
 				contended = false
 			} else {
+				histats.Inc(histats.CtrHeadRetry)
 				contended = true
 			}
 			continue

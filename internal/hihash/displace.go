@@ -32,6 +32,15 @@ package hihash
 // flags make the layout self-repairing: whenever no update is pending
 // the memory is exactly DisplacedGroups of the key set — state-quiescent
 // history independence, machine-checked on the simulated twin (sim.go).
+//
+// Metrics discipline: the successful protocol CASes are counted by
+// stepAt (steppoint.go); this file only adds cold-path sites — CAS
+// losses, helping, lookup restarts — whose disabled nil-check executes
+// exactly when the contention they count happened, plus one probe-length
+// observation per displacing insert. Lookups that succeed first pass
+// stay instrumentation-free.
+
+import "hiconc/internal/histats"
 
 // wstatus is the outcome of one protocol step.
 type wstatus int
@@ -251,10 +260,12 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 					stepAt(SpEvictSwap)
 					return wsDone, dist
 				}
+				histats.Inc(histats.CtrHashCASFail)
 				continue
 			}
 			// c is itself mid-relocation here: help it land, then
 			// re-examine.
+			histats.Inc(histats.CtrHelpRelocate)
 			if rs := s.relocateOut(st, c, g); rs != wsDone {
 				return rs, dist
 			}
@@ -265,6 +276,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 				stepAt(SpDestWritten)
 				return s.placed(st, c, dist), dist
 			}
+			histats.Inc(histats.CtrHashCASFail)
 			continue
 		}
 		if wordFlags(w) > 0 {
@@ -275,6 +287,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 				stepAt(SpDestWritten)
 				return s.placed(st, c, dist), dist
 			}
+			histats.Inc(histats.CtrHashCASFail)
 			continue
 		}
 		if g == exclude {
@@ -287,6 +300,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 					stepAt(SpEvictSwap)
 					return wsDone, dist
 				}
+				histats.Inc(histats.CtrHashCASFail)
 				continue
 			}
 		} else if m := wordMaxUnmarked(w); m != 0 && c < m && wordMarks(w) == 0 {
@@ -294,6 +308,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 			// place it further along its run, then swap the stale mark
 			// for c in one CAS on this word.
 			if !st.groups[g].CompareAndSwap(w, wordReplace(w, uint64(m), uint64(m)|slotMark)) {
+				histats.Inc(histats.CtrHashCASFail)
 				continue
 			}
 			stepAt(SpMarkSet)
@@ -312,6 +327,7 @@ func (s *Set) placeKey(st *tableState, c, exclude int) (wstatus, int) {
 			// never c's own mark (invisible in view at the excluded
 			// group).
 			if mk := wordAnyMarked(view); mk != 0 && mk != c {
+				histats.Inc(histats.CtrHelpRelocate)
 				if rs := s.relocateOut(st, mk, g); rs != wsDone {
 					return rs, dist
 				}
@@ -351,6 +367,7 @@ func (s *Set) finishEvict(st *tableState, c, m, g int) wstatus {
 				stepAt(SpEvictSwap)
 				return wsDone
 			}
+			histats.Inc(histats.CtrHashCASFail)
 			continue
 		}
 		return wsLost
@@ -422,6 +439,7 @@ func (s *Set) placed(st *tableState, c, dist int) wstatus {
 				continue
 			}
 			if !st.groups[at].CompareAndSwap(w, wordReplace(w, uint64(c), uint64(c)|slotMark)) {
+				histats.Inc(histats.CtrHashCASFail)
 				continue
 			}
 			stepAt(SpMarkSet)
@@ -476,7 +494,8 @@ func (s *Set) relocateOut(st *tableState, m, j int) wstatus {
 		if i < 0 || slotAt(w, i)&slotMark == 0 {
 			return wsDone
 		}
-		if rs, _ := s.placeKey(st, m, j); rs != wsDone {
+		rs, dist := s.placeKey(st, m, j)
+		if rs != wsDone {
 			if rs == wsFull {
 				// No destination (table momentarily full): cancel by
 				// restoring the mark.
@@ -489,8 +508,10 @@ func (s *Set) relocateOut(st *tableState, m, j int) wstatus {
 		}
 		if st.groups[j].CompareAndSwap(w, wordReplace(w, uint64(m)|slotMark, flagSlot)) {
 			stepAt(SpSourceCleared)
+			histats.Observe(histats.HistRelocDist, uint64(dist))
 			return s.restore(st, j)
 		}
+		histats.Inc(histats.CtrHashCASFail)
 	}
 }
 
@@ -538,6 +559,7 @@ func (s *Set) restore(st *tableState, g int) wstatus {
 				stepAt(SpFlagCleared)
 				return wsDone
 			}
+			histats.Inc(histats.CtrHashCASFail)
 			continue
 		}
 		// Pull best back: mark it, and complete the relocation — its
@@ -551,6 +573,7 @@ func (s *Set) restore(st *tableState, g int) wstatus {
 			continue
 		}
 		if !st.groups[bestAt].CompareAndSwap(wj, wordReplace(wj, uint64(best), uint64(best)|slotMark)) {
+			histats.Inc(histats.CtrHashCASFail)
 			continue
 		}
 		stepAt(SpMarkSet)
@@ -626,6 +649,7 @@ func (s *Set) displaceInsert(key int) int {
 		rs, dist := s.placeKey(st, key, -1)
 		switch rs {
 		case wsDone:
+			histats.Observe(histats.HistProbeLen, uint64(dist))
 			if dist >= probeLimit {
 				s.grow(st) // capped at maxGroups; a no-op at the ceiling
 			}
@@ -678,6 +702,7 @@ func (s *Set) displaceRemove(key int) int {
 		if r.foundMarked {
 			// Resolve the in-flight relocation first: removing a copy
 			// while a marked twin survives could resurrect the key.
+			histats.Inc(histats.CtrHelpRelocate)
 			s.relocateOut(st, key, r.foundAt)
 			continue
 		}
@@ -691,6 +716,8 @@ func (s *Set) displaceRemove(key int) int {
 		if st.groups[r.foundAt].CompareAndSwap(w, wordReplace(w, uint64(key), flagSlot)) {
 			stepAt(SpFlagPlaced)
 			s.restore(st, r.foundAt)
+		} else {
+			histats.Inc(histats.CtrHashCASFail)
 		}
 	}
 }
@@ -715,15 +742,19 @@ func (s *Set) displaceContains(key int) bool {
 			return true
 		}
 		if r.sawGone {
+			histats.Inc(histats.CtrLookupRetry)
 			continue
 		}
 		if !rescanMatches(st, r) {
+			histats.Inc(histats.CtrLookupRetry)
 			continue
 		}
 		if p != nil && !rescanMatches(p, oldScan) {
+			histats.Inc(histats.CtrLookupRetry)
 			continue
 		}
 		if s.st.Load() != st || st.prev.Load() != p {
+			histats.Inc(histats.CtrLookupRetry)
 			continue
 		}
 		return false

@@ -7,6 +7,7 @@ import (
 
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
+	"hiconc/internal/histats"
 	"hiconc/internal/spec"
 )
 
@@ -184,11 +185,14 @@ func (m *Map) add(key, delta int) int {
 			repl = &bucket{kvs: out}
 		}
 		if st.buckets[b].CompareAndSwap(old, repl) {
+			histats.Inc(histats.CtrMapUpdate)
+			histats.Observe(histats.HistBucketLen, uint64(len(out)))
 			if len(out) > bucketLimit {
 				m.grow(st)
 			}
 			return cur
 		}
+		histats.Inc(histats.CtrMapCASFail)
 	}
 }
 
@@ -245,6 +249,7 @@ func (m *Map) grow(st *mapState) {
 	next.left.Store(int64(len(next.buckets)))
 	next.prev.Store(cur)
 	if m.st.CompareAndSwap(cur, next) {
+		histats.Inc(histats.CtrMapGrow)
 		m.finishGrow(next, cur)
 	} else {
 		m.helpGrow(m.st.Load())

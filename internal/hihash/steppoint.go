@@ -1,6 +1,10 @@
 package hihash
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"hiconc/internal/histats"
+)
 
 // Steppoints label the shared-memory transitions of the native table's
 // protocols — the instants at which a crashing thread can abandon the
@@ -110,8 +114,30 @@ func SetStepHook(fn func(Steppoint)) {
 	stepHook.Store(&fn)
 }
 
-// stepAt reports a completed protocol step to the installed hook.
+// stepCounter maps each steppoint to its histats mirror, so the metrics
+// layer counts protocol steps without a second enumeration. The two
+// observers are independent globals: faultinject owns the step hook,
+// histats owns its recorder pointer, and either may be installed without
+// the other.
+var stepCounter = [NumSteppoints]histats.Counter{
+	SpBoundedUpdate: histats.CtrBoundedUpdate,
+	SpMarkSet:       histats.CtrMarkSet,
+	SpDestWritten:   histats.CtrDestWritten,
+	SpEvictSwap:     histats.CtrEvictSwap,
+	SpSourceCleared: histats.CtrSourceCleared,
+	SpFlagPlaced:    histats.CtrFlagPlaced,
+	SpFlagCleared:   histats.CtrFlagCleared,
+	SpGrowPublished: histats.CtrGrowPublished,
+	SpDrainCopied:   histats.CtrDrainCopied,
+	SpDrainDropped:  histats.CtrDrainDropped,
+	SpGonePlaced:    histats.CtrGonePlaced,
+}
+
+// stepAt reports a completed protocol step to the installed hook and the
+// metrics layer. The count is recorded first: the CAS has already
+// landed, and a fault-injection hook may kill the goroutine.
 func stepAt(p Steppoint) {
+	histats.Inc(stepCounter[p])
 	if fn := stepHook.Load(); fn != nil {
 		(*fn)(p)
 	}

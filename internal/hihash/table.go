@@ -8,6 +8,7 @@ import (
 
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
+	"hiconc/internal/histats"
 	"hiconc/internal/spec"
 )
 
@@ -211,6 +212,7 @@ func (s *Set) Insert(key int) int {
 			stepAt(SpBoundedUpdate)
 			return 0
 		}
+		histats.Inc(histats.CtrHashCASFail)
 	}
 }
 
@@ -245,6 +247,7 @@ func (s *Set) Remove(key int) int {
 			stepAt(SpBoundedUpdate)
 			return 0
 		}
+		histats.Inc(histats.CtrHashCASFail)
 	}
 }
 

@@ -1,0 +1,72 @@
+package histats
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+)
+
+// Exposition — how the live numbers leave the process.
+//
+// PublishExpvar hangs a snapshot function off the standard expvar
+// registry, so any process that serves http (cmd/hibench -http, or a
+// future cmd/hiserve) exports the full metrics tree at /debug/vars with
+// zero extra wiring. WriteText is the plain-text form of the same tree,
+// one metric per line, for terminals and scrape jobs.
+
+// PublishExpvar registers the global recorder under name in the expvar
+// registry (idempotent — a second call with the same name is a no-op,
+// since expvar panics on duplicates). The published function snapshots
+// whatever recorder is active at read time; while metrics are disabled
+// it reports {"enabled": false}.
+func PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		r := Active()
+		if r == nil {
+			return map[string]any{"enabled": false}
+		}
+		return r.Snapshot().Map()
+	}))
+}
+
+// WriteText writes the snapshot in a flat one-metric-per-line text
+// exposition:
+//
+//	histats_counter{name="mark-set"} 42
+//	histats_hist_count{name="probe-len"} 1000
+//	histats_hist{name="probe-len",stat="p99"} 3
+//
+// Every counter and histogram is emitted (zeros included), so the line
+// set is stable across snapshots and diffs cleanly.
+func WriteText(w io.Writer, s *Snapshot) error {
+	for c := Counter(0); c < NumCounters; c++ {
+		if _, err := fmt.Fprintf(w, "histats_counter{name=%q} %d\n", c.String(), s.Counters[c]); err != nil {
+			return err
+		}
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		hs := &s.Hists[h]
+		name := h.String()
+		if _, err := fmt.Fprintf(w, "histats_hist_count{name=%q} %d\nhistats_hist_sum{name=%q} %d\n",
+			name, hs.Count, name, hs.Sum); err != nil {
+			return err
+		}
+		for _, st := range []struct {
+			label string
+			value uint64
+		}{
+			{"p50", hs.Quantile(0.50)},
+			{"p90", hs.Quantile(0.90)},
+			{"p99", hs.Quantile(0.99)},
+			{"max", hs.Max()},
+		} {
+			if _, err := fmt.Fprintf(w, "histats_hist{name=%q,stat=%q} %d\n", name, st.label, st.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

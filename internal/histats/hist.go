@@ -1,0 +1,108 @@
+package histats
+
+import "math/bits"
+
+// The bucket scheme (HDR-style, hard-coded): values below linearMax get
+// an exact bucket each, so the structural distributions (probe lengths,
+// batch sizes, shard indices, retry counts) lose nothing; values above
+// fall into subCount sub-buckets per power of two, a fixed ±12.5%
+// relative resolution that holds from 64 ns to the full uint64 range —
+// the usual HDR trade for constant-time, allocation-free recording.
+
+const (
+	// linearMax is the first non-exact value: buckets 0..linearMax-1
+	// hold their value exactly.
+	linearMax = 64
+	// subBits is the log2 of the sub-bucket count per octave.
+	subBits = 3
+	// linearExp is log2(linearMax): the first log-bucketed octave.
+	linearExp = 6
+	// NumBuckets is the bucket array length: 64 exact buckets plus
+	// 8 sub-buckets for each of the 58 octaves from 2^6 up to 2^63.
+	NumBuckets = linearMax + (64-linearExp)*(1<<subBits)
+)
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < linearMax {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // 6..63
+	sub := int(v>>(uint(exp)-subBits)) & (1<<subBits - 1)
+	return linearMax + (exp-linearExp)<<subBits + sub
+}
+
+// bucketBounds returns the inclusive value range covered by bucket i.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < linearMax {
+		return uint64(i), uint64(i)
+	}
+	exp := uint(linearExp + (i-linearMax)>>subBits)
+	sub := uint64((i - linearMax) & (1<<subBits - 1))
+	width := uint64(1) << (exp - subBits)
+	lo = uint64(1)<<exp + sub*width
+	return lo, lo + width - 1
+}
+
+// HistSnapshot is one merged histogram: bucket counts plus the exact
+// total count and sum of observed values.
+type HistSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Quantile returns (an estimate of) the q-quantile of the observed
+// values, 0 <= q <= 1. Exact for values below 64; within the bucket
+// resolution (±12.5%, reported as the bucket midpoint) above. Returns 0
+// for an empty histogram.
+func (h *HistSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			lo, hi := bucketBounds(i)
+			return lo + (hi-lo)/2
+		}
+	}
+	return 0
+}
+
+// Max returns the midpoint of the highest non-empty bucket (exact below
+// 64), 0 for an empty histogram.
+func (h *HistSnapshot) Max() uint64 {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if h.Buckets[i] != 0 {
+			lo, hi := bucketBounds(i)
+			return lo + (hi-lo)/2
+		}
+	}
+	return 0
+}
+
+// Mean returns the exact mean of the observed values (the sum is
+// tracked exactly, not reconstructed from buckets), 0 when empty.
+func (h *HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Sub returns the histogram of events recorded after prev was taken
+// (elementwise difference; both snapshots must come from the same
+// recorder, counts are monotone).
+func (h *HistSnapshot) Sub(prev *HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum}
+	for i := range h.Buckets {
+		out.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}

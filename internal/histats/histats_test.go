@@ -1,0 +1,304 @@
+package histats
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketOfExactBelowLinearMax: small structural values (probe
+// lengths, batch sizes, shard indices) must be recorded exactly.
+func TestBucketOfExactBelowLinearMax(t *testing.T) {
+	for v := uint64(0); v < linearMax; v++ {
+		if b := bucketOf(v); b != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact", v, b)
+		}
+		lo, hi := bucketBounds(int(v))
+		if lo != v || hi != v {
+			t.Fatalf("bucketBounds(%d) = [%d,%d], want exact", v, lo, hi)
+		}
+	}
+}
+
+// TestBucketBoundsCoverAndNest: every value must land in a bucket whose
+// bounds contain it, bucket indices must be monotone in the value, and
+// the relative bucket width must stay within the documented 12.5%.
+func TestBucketBoundsCoverAndNest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(v uint64) {
+		b := bucketOf(v)
+		if b < 0 || b >= NumBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+		lo, hi := bucketBounds(b)
+		if v < lo || v > hi {
+			t.Fatalf("value %d in bucket %d with bounds [%d,%d]", v, b, lo, hi)
+		}
+		if v >= linearMax {
+			if width := hi - lo + 1; float64(width)/float64(lo) > 0.125+1e-9 {
+				t.Fatalf("bucket %d width %d too coarse for lo %d", b, width, lo)
+			}
+		}
+	}
+	prev := -1
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+		if b := bucketOf(v); b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, prev)
+		} else {
+			prev = b
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		check(rng.Uint64())
+	}
+	check(^uint64(0))
+}
+
+// TestQuantilesExactSmall: for values below 64 the quantiles are exact.
+func TestQuantilesExactSmall(t *testing.T) {
+	r := NewRecorder()
+	// 100 observations of value i for i in 0..9: p50 is in the middle.
+	for v := uint64(0); v < 10; v++ {
+		for i := 0; i < 100; i++ {
+			r.Observe(HistProbeLen, v)
+		}
+	}
+	h := &r.Snapshot().Hists[HistProbeLen]
+	if h.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{{0, 0}, {0.05, 0}, {0.55, 5}, {0.95, 9}, {1.0, 9}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Max(); got != 9 {
+		t.Errorf("Max = %d, want 9", got)
+	}
+	if got := h.Mean(); got != 4.5 {
+		t.Errorf("Mean = %v, want 4.5", got)
+	}
+}
+
+// TestQuantileResolutionLarge: latency-scale values resolve within the
+// bucket's 12.5% band.
+func TestQuantileResolutionLarge(t *testing.T) {
+	r := NewRecorder()
+	const v = 1_000_000 // 1ms in ns
+	for i := 0; i < 100; i++ {
+		r.Observe(HistUpdateNanos, v)
+	}
+	h := &r.Snapshot().Hists[HistUpdateNanos]
+	got := h.Quantile(0.5)
+	if got < v-v/8 || got > v+v/8 {
+		t.Fatalf("Quantile(0.5) = %d, want within 12.5%% of %d", got, v)
+	}
+}
+
+// TestEmptyHistogram: zero-count histograms answer zeros, not panics.
+func TestEmptyHistogram(t *testing.T) {
+	var h HistSnapshot
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// TestEnableDisableAndGlobals: the package-level hooks write to the
+// active recorder only.
+func TestEnableDisableAndGlobals(t *testing.T) {
+	Disable()
+	Inc(CtrHashInsert) // disabled: must be dropped, not crash
+	Observe(HistProbeLen, 3)
+	r := Enable()
+	defer Disable()
+	if !Enabled() || Active() != r {
+		t.Fatal("Enable did not install the recorder")
+	}
+	Inc(CtrHashInsert)
+	Add(CtrHashCASFail, 5)
+	Observe(HistProbeLen, 3)
+	s := r.Snapshot()
+	if s.Counters[CtrHashInsert] != 1 || s.Counters[CtrHashCASFail] != 5 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Hists[HistProbeLen].Count != 1 || s.Hists[HistProbeLen].Quantile(0.5) != 3 {
+		t.Fatalf("hist = %+v", s.Hists[HistProbeLen])
+	}
+	if got := Disable(); got != r {
+		t.Fatal("Disable must return the recorder that was active")
+	}
+	Inc(CtrHashInsert)
+	if s := r.Snapshot(); s.Counters[CtrHashInsert] != 1 {
+		t.Fatal("events after Disable must be dropped")
+	}
+}
+
+// TestSnapshotSub: deltas between two snapshots isolate the window.
+func TestSnapshotSub(t *testing.T) {
+	r := NewRecorder()
+	r.Inc(CtrShardOp, 10)
+	r.Observe(HistShardIndex, 2)
+	a := r.Snapshot()
+	r.Inc(CtrShardOp, 7)
+	r.Observe(HistShardIndex, 2)
+	r.Observe(HistShardIndex, 5)
+	d := r.Snapshot().Sub(a)
+	if d.Counters[CtrShardOp] != 7 {
+		t.Fatalf("delta counter = %d, want 7", d.Counters[CtrShardOp])
+	}
+	if h := d.Hists[HistShardIndex]; h.Count != 2 || h.Buckets[2] != 1 || h.Buckets[5] != 1 {
+		t.Fatalf("delta hist = %+v", h)
+	}
+	if d.Total() == 0 {
+		t.Fatal("Total of a nonzero delta must be nonzero")
+	}
+}
+
+// TestShardSpread: concurrent writers all land, whatever shard the
+// stack-address hash picks, and the merged totals are exact at
+// quiescence.
+func TestShardSpread(t *testing.T) {
+	r := NewRecorder()
+	const gs, per = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Inc(CtrHashInsert, 1)
+				r.Observe(HistProbeLen, uint64(i%8))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters[CtrHashInsert] != gs*per {
+		t.Fatalf("merged counter = %d, want %d", s.Counters[CtrHashInsert], gs*per)
+	}
+	if s.Hists[HistProbeLen].Count != gs*per {
+		t.Fatalf("merged hist count = %d, want %d", s.Hists[HistProbeLen].Count, gs*per)
+	}
+}
+
+// TestWriteText: the exposition is stable, parseable line-per-metric.
+func TestWriteText(t *testing.T) {
+	r := NewRecorder()
+	r.Inc(CtrMarkSet, 42)
+	r.Observe(HistProbeLen, 2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`histats_counter{name="mark-set"} 42`,
+		`histats_hist_count{name="probe-len"} 1`,
+		`histats_hist{name="probe-len",stat="p50"} 2`,
+		`histats_counter{name="shard-op"} 0`, // zeros included: stable line set
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	wantLines := int(NumCounters) + int(NumHists)*6
+	if lines != wantLines {
+		t.Errorf("exposition has %d lines, want %d", lines, wantLines)
+	}
+}
+
+// TestPublishExpvar: the expvar tree marshals and tracks enablement.
+func TestPublishExpvar(t *testing.T) {
+	PublishExpvar("histats-test")
+	PublishExpvar("histats-test") // idempotent, must not panic
+	v := expvar.Get("histats-test")
+	if v == nil {
+		t.Fatal("not published")
+	}
+	Disable()
+	var disabled map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &disabled); err != nil {
+		t.Fatalf("disabled expvar does not marshal: %v", err)
+	}
+	if on, ok := disabled["enabled"].(bool); !ok || on {
+		t.Fatalf("disabled expvar = %v", disabled)
+	}
+	Enable()
+	defer Disable()
+	Inc(CtrShardOp)
+	var enabled struct {
+		Counters map[string]uint64 `json:"counters"`
+		Hists    map[string]any    `json:"hists"`
+	}
+	if err := json.Unmarshal([]byte(v.String()), &enabled); err != nil {
+		t.Fatalf("enabled expvar does not marshal: %v", err)
+	}
+	if enabled.Counters["shard-op"] != 1 {
+		t.Fatalf("expvar counters = %v", enabled.Counters)
+	}
+	if len(enabled.Hists) != int(NumHists) {
+		t.Fatalf("expvar hists = %v", enabled.Hists)
+	}
+}
+
+// TestNames: every enum value has a distinct name (the exposition and
+// the watch table key on them).
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		n := c.String()
+		if n == "" || n == "counter(?)" || seen[n] {
+			t.Fatalf("counter %d has bad or duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		n := h.String()
+		if n == "" || n == "hist(?)" || seen[n] {
+			t.Fatalf("hist %d has bad or duplicate name %q", h, n)
+		}
+		seen[n] = true
+	}
+	if Counter(200).String() != "counter(?)" || Hist(200).String() != "hist(?)" {
+		t.Fatal("out-of-range values must render as unknown")
+	}
+}
+
+// BenchmarkIncDisabled is the disabled-path cost every instrumented
+// protocol step pays: one atomic load plus a predicted branch. E24
+// multiplies this by the measured sites-per-operation to bound the
+// disabled overhead.
+func BenchmarkIncDisabled(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		Inc(CtrHashInsert)
+	}
+}
+
+// BenchmarkIncEnabled is the enabled counter cost (shard hash + one
+// atomic add).
+func BenchmarkIncEnabled(b *testing.B) {
+	Enable()
+	defer Disable()
+	for i := 0; i < b.N; i++ {
+		Inc(CtrHashInsert)
+	}
+}
+
+// BenchmarkObserveEnabled is the enabled histogram cost.
+func BenchmarkObserveEnabled(b *testing.B) {
+	Enable()
+	defer Disable()
+	for i := 0; i < b.N; i++ {
+		Observe(HistUpdateNanos, uint64(i))
+	}
+}

@@ -1,0 +1,77 @@
+package histats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEnableDisableUnderTraffic drives the global hook from many
+// goroutines while another flips Enable/Disable and a third snapshots
+// continuously — the install/uninstall path must be race-free (the
+// atomic pointer is the only coordination) and every event must land in
+// whichever recorder was active when its site loaded the pointer.
+func TestEnableDisableUnderTraffic(t *testing.T) {
+	defer Disable()
+	flips := 200
+	if testing.Short() {
+		flips = 50
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Inc(CtrHashInsert)
+				Add(CtrHashCASFail, 2)
+				Observe(HistProbeLen, uint64(i%16))
+				Observe(HistUpdateNanos, uint64(i))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // snapshot reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if r := Active(); r != nil {
+				s := r.Snapshot()
+				_ = s.Map()
+				_ = s.Total()
+			}
+		}
+	}()
+	var recorders []*Recorder
+	for i := 0; i < flips; i++ {
+		recorders = append(recorders, Enable())
+		if i%3 == 2 {
+			Disable()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Post-quiescence: every recorder's totals are internally consistent
+	// (histogram bucket sums equal their counts).
+	for _, r := range recorders {
+		s := r.Snapshot()
+		for h := Hist(0); h < NumHists; h++ {
+			var sum uint64
+			for _, b := range s.Hists[h].Buckets {
+				sum += b
+			}
+			if sum != s.Hists[h].Count {
+				t.Fatalf("hist %v: bucket sum %d != count %d", h, sum, s.Hists[h].Count)
+			}
+		}
+	}
+}

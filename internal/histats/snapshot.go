@@ -1,0 +1,85 @@
+package histats
+
+import "time"
+
+// Snapshot is one merged view of a Recorder: every counter and every
+// histogram summed over the goroutine shards.
+type Snapshot struct {
+	// Taken is when the snapshot was merged (for rate computation).
+	Taken time.Time
+	// Counters holds the merged event counts, indexed by Counter.
+	Counters [NumCounters]uint64
+	// Hists holds the merged histograms, indexed by Hist.
+	Hists [NumHists]HistSnapshot
+}
+
+// Snapshot merges the recorder's shards. Each cell is read atomically
+// but the composite is not: with writers in flight the totals are a
+// consistent-enough lagging view, exact at quiescence.
+func (r *Recorder) Snapshot() *Snapshot {
+	s := &Snapshot{Taken: time.Now()}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		for c := range s.Counters {
+			s.Counters[c] += sh.counters[c].Load()
+		}
+		for h := range s.Hists {
+			hs := &sh.hists[h]
+			dst := &s.Hists[h]
+			for b := range dst.Buckets {
+				dst.Buckets[b] += hs.buckets[b].Load()
+			}
+			dst.Count += hs.count.Load()
+			dst.Sum += hs.sum.Load()
+		}
+	}
+	return s
+}
+
+// Sub returns the events recorded between prev and s (both from the
+// same recorder; counts are monotone so plain differences are exact at
+// quiescence and lag-bounded in flight).
+func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
+	out := &Snapshot{Taken: s.Taken}
+	for c := range s.Counters {
+		out.Counters[c] = s.Counters[c] - prev.Counters[c]
+	}
+	for h := range s.Hists {
+		out.Hists[h] = s.Hists[h].Sub(&prev.Hists[h])
+	}
+	return out
+}
+
+// Total returns the sum of all counters — a quick "did anything happen"
+// scalar for gates and tests.
+func (s *Snapshot) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counters {
+		t += c
+	}
+	return t
+}
+
+// Map renders the snapshot as a JSON-encodable tree: counter name →
+// count, plus per-histogram count/sum/mean/p50/p90/p99/max. It is the
+// expvar shape (and generally useful for ad-hoc JSON export).
+func (s *Snapshot) Map() map[string]any {
+	counters := map[string]uint64{}
+	for c := Counter(0); c < NumCounters; c++ {
+		counters[c.String()] = s.Counters[c]
+	}
+	hists := map[string]any{}
+	for h := Hist(0); h < NumHists; h++ {
+		hs := &s.Hists[h]
+		hists[h.String()] = map[string]any{
+			"count": hs.Count,
+			"sum":   hs.Sum,
+			"mean":  hs.Mean(),
+			"p50":   hs.Quantile(0.50),
+			"p90":   hs.Quantile(0.90),
+			"p99":   hs.Quantile(0.99),
+			"max":   hs.Max(),
+		}
+	}
+	return map[string]any{"counters": counters, "hists": hists}
+}

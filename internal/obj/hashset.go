@@ -2,6 +2,7 @@ package obj
 
 import (
 	"hiconc/internal/hihash"
+	"hiconc/internal/histats"
 )
 
 // HashSet is the user-facing HICHT table: a lock-free, history-
@@ -36,14 +37,25 @@ func NewHashSetWithGroups(domain, nGroups int) *HashSet {
 }
 
 // Insert adds v. It cannot fail: a full home group displaces, a full
-// table grows.
-func (h *HashSet) Insert(v int) { h.s.Insert(v) }
+// table grows. The API-layer operation counters (histats.CtrHashInsert
+// and friends) live here rather than inside the table, so direct
+// hihash users pay no per-operation metric sites at all.
+func (h *HashSet) Insert(v int) {
+	histats.Inc(histats.CtrHashInsert)
+	h.s.Insert(v)
+}
 
 // Remove deletes v.
-func (h *HashSet) Remove(v int) { h.s.Remove(v) }
+func (h *HashSet) Remove(v int) {
+	histats.Inc(histats.CtrHashRemove)
+	h.s.Remove(v)
+}
 
 // Contains reports whether v is in the set.
-func (h *HashSet) Contains(v int) bool { return h.s.Contains(v) }
+func (h *HashSet) Contains(v int) bool {
+	histats.Inc(histats.CtrHashLookup)
+	return h.s.Contains(v)
+}
 
 // Grow doubles the table's group array now (it also grows by itself
 // under insert pressure).

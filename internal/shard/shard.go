@@ -33,6 +33,7 @@ import (
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
 	"hiconc/internal/hihash"
+	"hiconc/internal/histats"
 	"hiconc/internal/spec"
 )
 
@@ -143,6 +144,8 @@ func (s *Set) Apply(pid int, op core.Op) int {
 		panic(fmt.Sprintf("shard: set key %d out of range 1..%d", op.Arg, s.domain))
 	}
 	sl := s.route[op.Arg-1]
+	histats.Inc(histats.CtrShardOp)
+	histats.Observe(histats.HistShardIndex, uint64(sl.shard))
 	return s.shards[sl.shard].Apply(pid, core.Op{Name: op.Name, Arg: sl.local})
 }
 
@@ -264,7 +267,10 @@ func (m *Map) Apply(pid int, op core.Op) int {
 	if op.Arg < 1 || op.Arg > m.keys {
 		panic(fmt.Sprintf("shard: map key %d out of range 1..%d", op.Arg, m.keys))
 	}
-	return m.shards[ShardOf(op.Arg, len(m.shards))].Apply(pid, op)
+	sh := ShardOf(op.Arg, len(m.shards))
+	histats.Inc(histats.CtrShardOp)
+	histats.Observe(histats.HistShardIndex, uint64(sh))
+	return m.shards[sh].Apply(pid, op)
 }
 
 // Inc increments key's count on behalf of pid, returning the previous count.

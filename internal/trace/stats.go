@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/histats"
+)
+
+// StatsTable renders a histats snapshot as the live protocol-metrics
+// table of `hibench -watch`: one row per non-zero counter (total, and
+// events/sec against prev when given), then one row per non-zero
+// histogram with count, mean, p50/p90/p99 and max. Zero counters and
+// empty histograms are suppressed so the table only shows what the
+// workload actually exercised; pass prev = nil for a since-start view
+// without the rate column.
+func StatsTable(cur, prev *histats.Snapshot) string {
+	var b strings.Builder
+	withRate := prev != nil
+	var secs float64
+	if withRate {
+		secs = cur.Taken.Sub(prev.Taken).Seconds()
+	}
+
+	if withRate {
+		fmt.Fprintf(&b, "%-16s %12s %14s\n", "counter", "total", "/s")
+	} else {
+		fmt.Fprintf(&b, "%-16s %12s\n", "counter", "total")
+	}
+	for c := histats.Counter(0); c < histats.NumCounters; c++ {
+		total := cur.Counters[c]
+		if total == 0 {
+			continue
+		}
+		if withRate {
+			rate := 0.0
+			if secs > 0 {
+				rate = float64(total-prev.Counters[c]) / secs
+			}
+			fmt.Fprintf(&b, "%-16s %12d %14.0f\n", c, total, rate)
+		} else {
+			fmt.Fprintf(&b, "%-16s %12d\n", c, total)
+		}
+	}
+
+	fmt.Fprintf(&b, "\n%-12s %10s %10s %8s %8s %8s %8s\n",
+		"hist", "count", "mean", "p50", "p90", "p99", "max")
+	for h := histats.Hist(0); h < histats.NumHists; h++ {
+		hs := &cur.Hists[h]
+		if hs.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %10d %10.1f %8d %8d %8d %8d\n",
+			h, hs.Count, hs.Mean(),
+			hs.Quantile(0.50), hs.Quantile(0.90), hs.Quantile(0.99), hs.Max())
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package trace_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hiconc/internal/histats"
+	"hiconc/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestStatsTableGolden pins the -watch table rendering against a golden
+// file: a deterministic set of counter and histogram events, rendered
+// once with a previous snapshot (rate column) and once cumulatively.
+// Regenerate with: go test ./internal/trace -run StatsTableGolden -update
+func TestStatsTableGolden(t *testing.T) {
+	r := histats.NewRecorder()
+	r.Inc(histats.CtrHashInsert, 1000)
+	r.Inc(histats.CtrHashLookup, 500)
+	r.Inc(histats.CtrHashCASFail, 7)
+	r.Inc(histats.CtrCombineBatch, 12)
+	r.Inc(histats.CtrBoundedUpdate, 901)
+	for v := uint64(1); v <= 8; v++ {
+		for i := uint64(0); i < 9-v; i++ {
+			r.Observe(histats.HistProbeLen, v)
+		}
+	}
+	for i, ns := range []uint64{90, 110, 130, 250, 600, 1500, 4000, 21000} {
+		for j := 0; j <= i; j++ {
+			r.Observe(histats.HistUpdateNanos, ns)
+		}
+	}
+
+	t0 := time.Date(2024, 7, 1, 12, 0, 0, 0, time.UTC)
+	prev := &histats.Snapshot{Taken: t0}
+	cur := r.Snapshot()
+	cur.Taken = t0.Add(2 * time.Second)
+
+	got := "-- live view (2s since previous snapshot) --\n" +
+		trace.StatsTable(cur, prev) +
+		"\n-- cumulative view --\n" +
+		trace.StatsTable(cur, nil)
+
+	golden := filepath.Join("testdata", "stats_table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("StatsTable drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestStatsTableSuppressesZeroRows: an idle recorder renders only the
+// headers — the table shows what the workload exercised, nothing else.
+func TestStatsTableSuppressesZeroRows(t *testing.T) {
+	r := histats.NewRecorder()
+	out := trace.StatsTable(r.Snapshot(), nil)
+	for _, c := range []histats.Counter{histats.CtrHashInsert, histats.CtrHeadRetry} {
+		if containsRow(out, c.String()) {
+			t.Errorf("zero counter %v rendered:\n%s", c, out)
+		}
+	}
+}
+
+func containsRow(out, name string) bool {
+	for _, line := range splitLines(out) {
+		if len(line) >= len(name) && line[:len(name)] == name {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(lines, s[start:])
+}
