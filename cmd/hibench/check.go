@@ -11,10 +11,10 @@ import (
 
 // runCheck compares this run's fresh measurements against the committed
 // BENCH_<exp>.json baselines in -benchdir and fails if any gated metric
-// regressed beyond -tol. Experiments without a committed baseline are
-// reported and skipped (a brand-new family cannot regress); a run that
-// recorded nothing is an error, because a -check that checked nothing
-// passing silently is how gates rot.
+// regressed beyond -tol. An experiment without a committed baseline is
+// an error, as is a run that recorded nothing: a -check that silently
+// checked less than it was asked to is how gates rot (generate and
+// commit the baseline with -json when adding a family).
 func runCheck() error {
 	fams := rec.Families()
 	if len(fams) == 0 {
@@ -27,8 +27,7 @@ func runCheck() error {
 		committed, err := benchfmt.ReadFile(path)
 		if err != nil {
 			if errors.Is(err, os.ErrNotExist) {
-				fmt.Printf("check %s: no committed baseline at %s, skipped\n", exp, path)
-				continue
+				return fmt.Errorf("-check: no committed baseline at %s (generate it with -json and commit it, or drop %s from -exp)", path, exp)
 			}
 			return fmt.Errorf("-check: %w", err)
 		}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/hirec"
+	"hiconc/internal/linearize"
+	"hiconc/internal/obj"
+	"hiconc/internal/spec"
+	"hiconc/internal/trace"
+	"hiconc/internal/workload"
+)
+
+// e25Sites is the per-operation hot-site budget of the recorded stack:
+// one OpStart, one OpEnd, and at most one protocol step per successful
+// update on the obj.HashSet path. The E25 gate multiplies this by the
+// measured cost of one disabled recording site.
+const e25Sites = 3
+
+// runE25 measures the flight recorder itself and machine-checks what it
+// captures: the unit price of a disabled recording site, a disabled-vs-
+// recording A/B over an E21-shaped workload on the API-layer hash set
+// (where the invoke/return sites live), a machine-checked bound on the
+// computed disabled-path overhead, then a recorded concurrent run whose
+// extracted history must pass the linearizability checker, a corrupted
+// recording that must be rejected, and the raw-dump identity check that
+// recording stays outside the HI boundary.
+func runE25() error {
+	fmt.Println("=== E25: flight recorder — record native executions, machine-check them (internal/hirec)")
+	const n, domain = 8, 8192
+
+	// E25 measures its own enable/disable transitions, so a recorder
+	// installed by -record is suspended for the duration and restored
+	// after (its lanes would otherwise swallow this experiment's traffic).
+	suspended := hirec.Disable()
+	defer func() {
+		if suspended != nil {
+			hirec.EnableWith(suspended)
+		}
+	}()
+
+	// Unit price of one disabled recording site.
+	siteNs := measureDisabledRecSite()
+	fmt.Printf("\n    disabled site (atomic load + branch): %.2f ns/call\n", siteNs)
+	record("E25", "site/disabled", "ns/call", siteNs)
+
+	// Disabled-vs-recording A/B on the obj.HashSet stack.
+	mixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+		return g.SetZipf(8192, domain, 1.01, 0.1)
+	})
+	runSet := func() time.Duration {
+		s := obj.NewHashSet(domain)
+		for k := 1; k <= domain/4; k++ {
+			s.Insert(k)
+		}
+		return runObjSet(s, n, *opsFlag/n, mixes)
+	}
+	tOff := runSet()
+	hirec.Enable(1 << 15)
+	tOn := runSet()
+	hirec.Disable()
+
+	offNs := float64(tOff.Nanoseconds()) / float64(*opsFlag)
+	measured := 100 * (float64(tOn.Nanoseconds()) - float64(tOff.Nanoseconds())) / float64(tOff.Nanoseconds())
+	par := runtime.GOMAXPROCS(0)
+	if par > n {
+		par = n
+	}
+	computed := 100 * e25Sites * siteNs / (float64(par) * offNs)
+	fmt.Println("\n    disabled vs recording (ns/op; measured delta is wall-clock noise,")
+	fmt.Println("    the computed bound is what the gate checks):")
+	fmt.Printf("%12s %12s %12s %12s %12s\n", "workload", "disabled", "recording", "measured", "computed")
+	fmt.Printf("%12s %12s %12s %11.1f%% %11.2f%%\n", "set",
+		perOp(tOff, *opsFlag), perOp(tOn, *opsFlag), measured, computed)
+	recordPerOp("E25", "set/disabled", tOff, *opsFlag)
+	recordPerOp("E25", "set/recording", tOn, *opsFlag)
+	record("E25", "set/measured-overhead", "percent", measured)
+	record("E25", "set/computed-overhead", "percent", computed)
+
+	// Record a real concurrent run and machine-check it: six goroutines
+	// over a small domain (the exhaustive checker caps at 64 operations),
+	// extracted to a history and fed to linearize against the set spec.
+	const checkN, checkOps, checkDomain = 6, 6, 8
+	flight := hirec.Enable(1 << 15)
+	cs := obj.NewHashSet(checkDomain)
+	var wg sync.WaitGroup
+	for pid := 0; pid < checkN; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < checkOps; i++ {
+				key := (pid+i)%checkDomain + 1
+				switch i % 3 {
+				case 0:
+					cs.Insert(key)
+				case 1:
+					cs.Contains(key)
+				default:
+					cs.Remove(key)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	hirec.Disable()
+	recCheck := flight.Snapshot()
+	recs, extractErr := hirec.Records(recCheck)
+	var checkErr error
+	if extractErr != nil {
+		checkErr = extractErr
+	} else {
+		checkErr = linearize.CheckRecords(spec.NewSet(checkDomain), recs)
+	}
+	linearizable := checkErr == nil
+	fmt.Printf("\n    recorded run: %d events, %d operations; linearizable: %v\n",
+		len(recCheck.Events), len(recs), linearizable)
+	if checkErr != nil {
+		// Dump the timeline: a failed verdict without the recording that
+		// produced it cannot be debugged.
+		fmt.Print(indent(trace.NativeTimeline(recCheck), "      "))
+		fmt.Printf("      verdict: %v\n", checkErr)
+	}
+	record("E25", "check/ops", "count", float64(len(recs)))
+	record("E25", "check/linearizable", "bool", b2f(linearizable))
+
+	// The negative control: a recording with an orphaned response must be
+	// rejected before it reaches the checker.
+	corrupt := hirec.Recording{Events: append(append([]hirec.Event{}, recCheck.Events...), hirec.Event{
+		Seq: uint64(len(recCheck.Events)) + 1, Kind: hirec.KReturn,
+		Lane: 63, Index: 9999, Name: spec.OpInsert,
+	})}
+	_, corruptErr := hirec.Records(corrupt)
+	corruptRejected := corruptErr != nil
+	fmt.Printf("    corrupted recording rejected by extraction: %v\n", corruptRejected)
+	record("E25", "check/corrupt-rejected", "bool", b2f(corruptRejected))
+
+	// The HI-boundary check: the same operation sequence with and without
+	// the recorder installed must leave bit-identical raw dumps (the E24
+	// build shape — inserts, removes, a grow).
+	build := func() *hihash.Set {
+		s := hihash.NewDisplaceSet(1024, 8)
+		for k := 1; k <= 512; k++ {
+			s.Insert(k)
+		}
+		for k := 3; k <= 512; k += 3 {
+			s.Remove(k)
+		}
+		s.Grow()
+		return s
+	}
+	plain := build()
+	hirec.Enable(1 << 12)
+	recorded := build()
+	hirec.Disable()
+	identical := bytes.Equal(plain.RawDump(), recorded.RawDump())
+	fmt.Printf("    HI boundary: raw dumps with recording enabled vs disabled identical: %v\n", identical)
+	record("E25", "hi/rawdump-identical", "bool", b2f(identical))
+
+	var gateErr error
+	if !identical {
+		gateErr = errors.Join(gateErr, fmt.Errorf("E25: recording leaked into the representation (raw dumps differ)"))
+	}
+	if !linearizable {
+		gateErr = errors.Join(gateErr, fmt.Errorf("E25: recorded native execution failed the linearizability check: %w", checkErr))
+	}
+	if !corruptRejected {
+		gateErr = errors.Join(gateErr, fmt.Errorf("E25: extraction accepted a corrupted recording"))
+	}
+	if computed > *maxOverheadFlag {
+		gateErr = errors.Join(gateErr, fmt.Errorf("E25: computed disabled-path overhead %.2f%% exceeds -maxoverhead %.2f%%",
+			computed, *maxOverheadFlag))
+	}
+	if gateErr == nil {
+		fmt.Printf("    gate: computed disabled-path overhead %.2f%% <= %.2f%% budget\n", computed, *maxOverheadFlag)
+	}
+	return gateErr
+}
+
+// measureDisabledRecSite times the disabled fast path of one recording
+// site: hirec.Step with no recorder installed.
+func measureDisabledRecSite() float64 {
+	const calls = 5_000_000
+	d := timeIt(func() {
+		for i := 0; i < calls; i++ {
+			hirec.Step("bounded-update")
+		}
+	})
+	return float64(d.Nanoseconds()) / calls
+}
+
+// runObjSet drives the API-layer hash set (where the invoke/return
+// recording sites live) with n goroutines replaying per-key mixes.
+func runObjSet(s *obj.HashSet, n, opsPer int, mixes [][]core.Op) time.Duration {
+	return timeIt(func() {
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				ops := mixes[pid]
+				for i := 0; i < opsPer; i++ {
+					op := ops[i%len(ops)]
+					switch op.Name {
+					case spec.OpInsert:
+						s.Insert(op.Arg)
+					case spec.OpRemove:
+						s.Remove(op.Arg)
+					default:
+						s.Contains(op.Arg)
+					}
+				}
+			}(pid)
+		}
+		wg.Wait()
+	})
+}
+
+// writeFlightTrace writes a -record recording as Chrome trace JSON.
+func writeFlightTrace(path string, rec hirec.Recording) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-record: %w", err)
+	}
+	if err := hirec.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return fmt.Errorf("-record: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("-record: %w", err)
+	}
+	fmt.Printf("wrote flight recording (%d events, %d dropped) to %s\n",
+		len(rec.Events), rec.Dropped, path)
+	return nil
+}

@@ -31,6 +31,13 @@
 //	      disabled-path overhead, the protocol-event distributions the
 //	      enabled run gathers, and a raw-dump identity check that metrics
 //	      stay outside the HI boundary.
+//	E25 — the flight recorder (internal/hirec): the unit price of a
+//	      disabled recording site, disabled-vs-recording A/B on the
+//	      API-layer hash set, a machine-checked overhead bound, a recorded
+//	      concurrent run whose extracted history must pass the
+//	      linearizability checker (and a corrupted recording that must be
+//	      rejected), and the raw-dump identity check that recording stays
+//	      outside the HI boundary.
 //
 // Absolute numbers depend on the machine; the paper makes no quantitative
 // claims, so the interesting output is the relative shape (see
@@ -42,31 +49,39 @@
 // are compared against the committed documents and the run fails on
 // regression — the CI gate.
 //
+// With -record FILE, the whole run executes under the flight recorder
+// (internal/hirec) and the recording is written to FILE as Chrome trace
+// event JSON (loadable in Perfetto / chrome://tracing).
+//
 // With -watch, hibench instead runs a built-in mixed workload with
 // metrics enabled and redraws a live table of protocol counters and
 // latency histograms every -tick. With -http ADDR, any mode additionally
 // serves /debug/pprof (with block and mutex profiles enabled),
-// /debug/vars (expvar, including the histats tree) and a plain-text
-// /metrics endpoint.
+// /debug/vars (expvar, including the histats tree), a plain-text
+// /metrics endpoint and a /trace download of the live flight recording.
 //
 // Usage:
 //
-//	hibench [-exp E10,...,E24|all] [-ops N] [-procs list] [-json]
+//	hibench [-exp E10,...,E25|all] [-ops N] [-procs list] [-json]
 //	        [-check [-tol F] [-benchdir DIR]] [-maxoverhead PCT]
-//	        [-http ADDR] [-watch [-tick D] [-watchfor D]]
+//	        [-record FILE] [-http ADDR] [-watch [-tick D] [-watchfor D]]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
+
+	"hiconc/internal/hirec"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20, E21, E22, E23, E24 or 'all'")
+	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20, E21, E22, E23, E24, E25 or 'all'")
 	opsFlag   = flag.Int("ops", 200000, "operations per measurement")
 	procsFlag = flag.String("procs", "1,2,4,8", "goroutine counts for E11")
 	jsonFlag  = flag.Bool("json", false, "write one BENCH_<exp>.json per experiment family")
@@ -75,7 +90,9 @@ var (
 	tolFlag      = flag.Float64("tol", 0.5, "-check relative tolerance (0.5 = 50% slower fails)")
 	benchdirFlag = flag.String("benchdir", ".", "directory holding the committed BENCH_<exp>.json files for -check")
 
-	maxOverheadFlag = flag.Float64("maxoverhead", 2.0, "E24 gate: maximum computed disabled-path metrics overhead, percent")
+	maxOverheadFlag = flag.Float64("maxoverhead", 2.0, "E24/E25 gate: maximum computed disabled-path observer overhead, percent")
+
+	recordFlag = flag.String("record", "", "run under the flight recorder and write the Chrome trace JSON to this file")
 
 	httpFlag = flag.String("http", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. localhost:6060)")
 
@@ -108,14 +125,28 @@ func parseProcs() ([]int, error) {
 	return procs, nil
 }
 
+// knownExps is the experiment vocabulary -exp is validated against: a
+// typo must fail loudly instead of silently selecting nothing.
+var knownExps = []string{"E10", "E11", "E12", "E20", "E21", "E22", "E23", "E24", "E25"}
+
 // run executes the selected experiment families (split from main so the
 // smoke tests can drive it in-process).
-func run() error {
+func run() (retErr error) {
 	// Validate flags before any experiment runs, so a typo cannot discard
 	// already-measured families.
 	procs, err := parseProcs()
 	if err != nil {
 		return err
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.ToUpper(strings.TrimSpace(e))] = true
+	}
+	for e := range want {
+		if e != "ALL" && !slices.Contains(knownExps, e) {
+			return fmt.Errorf("unknown experiment %q in -exp (have %s or 'all')",
+				e, strings.Join(knownExps, ", "))
+		}
 	}
 	rec.Ops = *opsFlag
 	if *httpFlag != "" {
@@ -123,12 +154,17 @@ func run() error {
 			return err
 		}
 	}
+	if *recordFlag != "" {
+		flight := hirec.Enable(1 << 15)
+		defer func() {
+			hirec.Disable()
+			if werr := writeFlightTrace(*recordFlag, flight.Snapshot()); werr != nil && retErr == nil {
+				retErr = werr
+			}
+		}()
+	}
 	if *watchFlag {
 		return runWatch(*tickFlag, *watchForFlag)
-	}
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expFlag, ",") {
-		want[strings.ToUpper(strings.TrimSpace(e))] = true
 	}
 	all := want["ALL"]
 	if all || want["E10"] {
@@ -152,11 +188,14 @@ func run() error {
 	if all || want["E23"] {
 		runE23()
 	}
-	// E24's overhead gate must not stop the results from being written or
-	// checked; its error is reported after the bookkeeping below.
+	// The E24/E25 gates must not stop the results from being written or
+	// checked; their errors are reported after the bookkeeping below.
 	var gateErr error
 	if all || want["E24"] {
 		gateErr = runE24()
+	}
+	if all || want["E25"] {
+		gateErr = errors.Join(gateErr, runE25())
 	}
 	// Read the committed baselines before -json can overwrite them (the
 	// common CI invocation runs from the repository root with both flags).

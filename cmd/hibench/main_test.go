@@ -60,6 +60,7 @@ func resetBench(t *testing.T) {
 	*maxOverheadFlag = 2.0
 	*watchFlag = false
 	*httpFlag = ""
+	*recordFlag = ""
 }
 
 // TestSmoke runs benchmark families with tiny parameters and -json,
@@ -67,15 +68,18 @@ func resetBench(t *testing.T) {
 func TestSmoke(t *testing.T) {
 	t.Chdir(t.TempDir())
 	resetBench(t)
-	*expFlag = "E10,E21,E22,E23,E24"
+	*expFlag = "E10,E21,E22,E23,E24,E25"
 	*jsonFlag = true
 	out := captureStdout(t, run)
-	for _, want := range []string{"E10", "E21", "E22", "E23", "E24", "ns", "raw dumps with metrics enabled vs disabled identical: true"} {
+	for _, want := range []string{"E10", "E21", "E22", "E23", "E24", "E25", "ns",
+		"raw dumps with metrics enabled vs disabled identical: true",
+		"raw dumps with recording enabled vs disabled identical: true",
+		"linearizable: true", "corrupted recording rejected by extraction: true"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	for _, name := range []string{"BENCH_E10.json", "BENCH_E21.json", "BENCH_E22.json", "BENCH_E23.json", "BENCH_E24.json"} {
+	for _, name := range []string{"BENCH_E10.json", "BENCH_E21.json", "BENCH_E22.json", "BENCH_E23.json", "BENCH_E24.json", "BENCH_E25.json"} {
 		buf, err := os.ReadFile(name)
 		if err != nil {
 			t.Fatalf("missing %s: %v", name, err)
@@ -114,6 +118,89 @@ func TestSmoke(t *testing.T) {
 	}
 	if r := e24.Find("hi/rawdump-identical", "bool"); r == nil || r.Value != 1 {
 		t.Errorf("BENCH_E24.json HI-boundary row missing or false: %+v", r)
+	}
+	// E25's machine-checked rows: the overhead gate input, the
+	// linearizability verdict on the recorded run, the corruption
+	// rejection and the HI-boundary verdict.
+	e25, err := benchfmt.ReadFile("BENCH_E25.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e25.Find("set/computed-overhead", "percent") == nil {
+		t.Error("BENCH_E25.json missing the computed-overhead row")
+	}
+	for _, kase := range []string{"check/linearizable", "check/corrupt-rejected", "hi/rawdump-identical"} {
+		if r := e25.Find(kase, "bool"); r == nil || r.Value != 1 {
+			t.Errorf("BENCH_E25.json %s row missing or false: %+v", kase, r)
+		}
+	}
+}
+
+// TestUnknownExperiment checks that a typo in -exp fails loudly instead
+// of silently selecting nothing.
+func TestUnknownExperiment(t *testing.T) {
+	resetBench(t)
+	*expFlag = "E10,E99"
+	out, err := captureStdoutErr(run)
+	if err == nil {
+		t.Fatalf("expected an unknown-experiment error, got success:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), `unknown experiment "E99"`) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckMissingBaseline checks that -check on a family with no
+// committed BENCH file is an error, not a silent skip.
+func TestCheckMissingBaseline(t *testing.T) {
+	t.Chdir(t.TempDir())
+	resetBench(t)
+	*expFlag = "E10"
+	*checkFlag = true
+	out, err := captureStdoutErr(run)
+	if err == nil {
+		t.Fatalf("expected a missing-baseline error, got success:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "no committed baseline") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestRecordSmoke runs a family under -record and checks that the flight
+// trace is written, parses as Chrome trace JSON and holds op events.
+func TestRecordSmoke(t *testing.T) {
+	t.Chdir(t.TempDir())
+	resetBench(t)
+	*expFlag = "E20" // drives the shard layer, where op recording lives
+	*recordFlag = "trace.json"
+	out := captureStdout(t, run)
+	if !strings.Contains(out, "wrote flight recording") {
+		t.Errorf("output missing the recording confirmation:\n%s", out)
+	}
+	buf, err := os.ReadFile("trace.json")
+	if err != nil {
+		t.Fatalf("missing trace.json: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("trace.json does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace.json has no events")
+	}
+	begins := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "B" {
+			begins++
+		}
+	}
+	if begins == 0 {
+		t.Error("trace.json has no B (invoke) events; the op sites never recorded")
 	}
 }
 

@@ -6,19 +6,31 @@
 //	     Q = quiescent).
 //	E6 — Figure 3: the head-mode alternation of the universal construction
 //	     (mode A ⟨q,⊥⟩ to mode B ⟨q',⟨r,j⟩⟩ and back).
+//	E25 — a Figure-1-style timeline of a real execution: a displacing
+//	      insert storm racing lookups on the native hash set, captured by
+//	      the flight recorder (internal/hirec) and rendered event by
+//	      event with the protocol steps each goroutine performed.
+//
+// E3 and E6 render simulated schedules, so their output is
+// deterministic; E25 records a live run, so its interleaving (and the
+// timestamps) differ run to run.
 //
 // Usage:
 //
-//	hitrace [-exp E3,E6|all]
+//	hitrace [-exp E3,E6,E25|all]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"strings"
+	"sync"
 
 	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/hirec"
 	"hiconc/internal/llsc"
+	"hiconc/internal/obj"
 	"hiconc/internal/registers"
 	"hiconc/internal/sim"
 	"hiconc/internal/spec"
@@ -26,7 +38,7 @@ import (
 	"hiconc/internal/universal"
 )
 
-var expFlag = flag.String("exp", "all", "experiments to render: E3, E6 or 'all'")
+var expFlag = flag.String("exp", "all", "experiments to render: E3, E6, E25 or 'all'")
 
 func main() {
 	flag.Parse()
@@ -40,6 +52,9 @@ func main() {
 	}
 	if all || want["E6"] {
 		runE6()
+	}
+	if all || want["E25"] {
+		runE25()
 	}
 }
 
@@ -74,4 +89,45 @@ func runE6() {
 	fmt.Println()
 	fmt.Println("operations (responses are fetch-and-inc/dec previous values):")
 	fmt.Print(trace.Summary(tr))
+	fmt.Println()
+}
+
+func runE25() {
+	fmt.Println("=== E25: native flight recording — displacing inserts ‖ lookups on obj.HashSet")
+	const domain, groups = 8, 2
+	// The keys homing at group 0: one more than the group holds, inserted
+	// largest first so the final (smallest, highest-priority) insert must
+	// mark a resident for relocation — the recorded protocol steps show
+	// the displacement happening.
+	var heavy []int
+	for k := 1; k <= domain; k++ {
+		if hihash.GroupOf(k, groups) == 0 {
+			heavy = append(heavy, k)
+		}
+	}
+	if len(heavy) > hihash.SlotsPerGroup+1 {
+		heavy = heavy[:hihash.SlotsPerGroup+1]
+	}
+	flight := hirec.Enable(1 << 10)
+	s := obj.NewHashSetWithGroups(domain, groups)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := len(heavy) - 1; i >= 0; i-- {
+			s.Insert(heavy[i])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			s.Contains(heavy[i%len(heavy)])
+		}
+	}()
+	wg.Wait()
+	hirec.Disable()
+	fmt.Print(trace.NativeTimeline(flight.Snapshot()))
+	fmt.Println("legend: >>> invoke and <<< return bracket one operation (gN = recorder lane);")
+	fmt.Println("        · step marks a labeled protocol CAS performed inside some operation")
+	fmt.Println("(a live run: the interleaving and timestamps differ between invocations)")
 }

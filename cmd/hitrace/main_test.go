@@ -7,8 +7,8 @@ import (
 	"testing"
 )
 
-// TestSmoke renders both trace figures in-process and checks that the
-// annotated configurations appear.
+// TestSmoke renders all three trace figures in-process and checks that
+// the annotated configurations appear.
 func TestSmoke(t *testing.T) {
 	r, w, err := os.Pipe()
 	if err != nil {
@@ -18,10 +18,11 @@ func TestSmoke(t *testing.T) {
 	os.Stdout = w
 	runE3()
 	runE6()
+	runE25()
 	os.Stdout = orig
 	w.Close()
 	out, _ := io.ReadAll(r)
-	for _, want := range []string{"E3", "E6"} {
+	for _, want := range []string{"E3", "E6", "E25", "native flight recording", ">>> invoke", "<<< return"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

@@ -4,10 +4,12 @@
 // the universal construction of Section 6 with its ablations, the
 // Algorithm 6 R-LLSC properties, and the HICHT hash table of
 // internal/hihash — the bounded group-word design (E21), the unbounded
-// displacing, online-resizing one (E22), and the adversarial-observer
+// displacing, online-resizing one (E22), the adversarial-observer
 // family (E23): raw-memory twin dumps, enumerated crash schedules on the
 // simulated twins, and the native Kill matrix over every labeled
-// protocol step.
+// protocol step — and the flight recorder (E25): native concurrent runs
+// and faultinject crash schedules captured by internal/hirec and
+// machine-checked for linearizability post hoc.
 //
 // Usage:
 //
@@ -32,15 +34,19 @@ import (
 	"hiconc/internal/harness"
 	"hiconc/internal/hicheck"
 	"hiconc/internal/hihash"
+	"hiconc/internal/hirec"
+	"hiconc/internal/linearize"
 	"hiconc/internal/llsc"
+	"hiconc/internal/obj"
 	"hiconc/internal/registers"
 	"hiconc/internal/sim"
 	"hiconc/internal/spec"
+	"hiconc/internal/trace"
 	"hiconc/internal/universal"
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21,E22,E23) or 'all'")
+	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21,E22,E23,E25) or 'all'")
 	deepFlag = flag.Bool("deep", false, "use deeper exploration bounds (slower)")
 )
 
@@ -83,6 +89,7 @@ func runSelected() bool {
 	run("E21", "HICHT hash table: perfect HI and linearizable; append ablation refuted", runE21)
 	run("E22", "Unbounded HICHT: displacement + online resize are SQHI and linearizable; perfect HI provably lost", runE22)
 	run("E23", "Adversarial observers: twin raw dumps indistinguishable; every crash point recovers to canonical", runE23)
+	run("E25", "Flight recorder: native executions captured and machine-checked for linearizability", runE25)
 
 	return !failed
 }
@@ -683,6 +690,123 @@ func e23Matrix(domain, nGroups int, heavy []int) (cells, mid, maxDist int, err e
 		return cells, mid, maxDist, fmt.Errorf("only %d crash cells reached; the workload misses whole steppoints", cells)
 	}
 	return cells, mid, maxDist, nil
+}
+
+// runE25 closes the loop between the native stack and the checker: the
+// flight recorder (internal/hirec) captures a real concurrent run and a
+// faultinject crash schedule at the API layer, and the recorded
+// histories are extracted and machine-checked for linearizability post
+// hoc — the native analogue of what E6/E21/E22 prove on the simulated
+// twins. A corrupted recording must be rejected before it reaches the
+// checker (a verdict on a broken history proves nothing).
+func runE25() error {
+	defer hirec.Disable()
+
+	// (a) A recorded concurrent stress run on the API-layer hash set:
+	// extract every invoke/return pair and hand the history to the
+	// exhaustive checker (which caps at 64 operations, so the run is
+	// sized to fit).
+	const n, opsPer, domain = 4, 8, 16
+	flight := hirec.Enable(1 << 12)
+	s := obj.NewHashSet(domain)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := (pid*3+i)%domain + 1
+				switch i % 3 {
+				case 0:
+					s.Insert(key)
+				case 1:
+					s.Contains(key)
+				default:
+					s.Remove(key)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	hirec.Disable()
+	recording := flight.Snapshot()
+	recs, err := hirec.Records(recording)
+	if err != nil {
+		return fmt.Errorf("stress extraction: %w", err)
+	}
+	if err := linearize.CheckRecords(spec.NewSet(domain), recs); err != nil {
+		fmt.Print(trace.NativeTimeline(recording))
+		return fmt.Errorf("recorded stress run not linearizable: %w", err)
+	}
+	steps := 0
+	for _, ev := range recording.Events {
+		if ev.Kind == hirec.KStep {
+			steps++
+		}
+	}
+	fmt.Printf("    recorded stress run: %d ops + %d protocol steps extracted, linearizable  PASS\n",
+		len(recs), steps)
+
+	// (b) A recorded faultinject crash schedule: fill a bucket group with
+	// the four larger keys of its home run, then insert the smallest —
+	// which outranks every resident (smaller keys claim earlier groups),
+	// so it must mark one for relocation — and kill it at that mark-set
+	// CAS. The victim dies between invocation and response, so extraction
+	// must yield exactly one pending operation — which the checker may
+	// linearize or drop — and the verdict must still hold.
+	heavy := e23Heavy(domain, 2)
+	cs := obj.NewHashSetWithGroups(domain, 2)
+	flight = hirec.Enable(1 << 12)
+	for _, k := range heavy[1:] {
+		cs.Insert(k)
+	}
+	in := faultinject.Install(faultinject.Plan{
+		Point: hihash.SpMarkSet, Occurrence: 1, Action: faultinject.Kill,
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cs.Insert(heavy[0])
+	}()
+	wg.Wait()
+	in.Uninstall()
+	hirec.Disable()
+	if !in.DidFire() {
+		return errors.New("crash schedule: the displacing insert never reached mark-set")
+	}
+	crashRec := flight.Snapshot()
+	crashRecs, err := hirec.Records(crashRec)
+	if err != nil {
+		return fmt.Errorf("crash extraction: %w", err)
+	}
+	pending := 0
+	for _, r := range crashRecs {
+		if !r.Completed {
+			pending++
+		}
+	}
+	if pending != 1 {
+		fmt.Print(trace.NativeTimeline(crashRec))
+		return fmt.Errorf("crash schedule: %d pending operations extracted, want exactly 1 (the killed insert)", pending)
+	}
+	if err := linearize.CheckRecords(spec.NewSet(domain), crashRecs); err != nil {
+		fmt.Print(trace.NativeTimeline(crashRec))
+		return fmt.Errorf("recorded crash schedule not linearizable: %w", err)
+	}
+	fmt.Println("    recorded crash schedule: kill at mark-set left 1 pending op, history linearizable  PASS")
+
+	// (c) The negative control: extraction must reject a recording it
+	// cannot vouch for.
+	corrupt := hirec.Recording{Events: append(append([]hirec.Event{}, crashRec.Events...), hirec.Event{
+		Seq: uint64(len(crashRec.Events)) + 1, Kind: hirec.KReturn,
+		Lane: 63, Index: 9999, Name: spec.OpInsert,
+	})}
+	if _, err := hirec.Records(corrupt); err == nil {
+		return errors.New("corrupted recording accepted by extraction")
+	} else {
+		fmt.Printf("    corrupted recording rejected  PASS (%v)\n", err)
+	}
+	return nil
 }
 
 // phases builds the two-phase-then-finish schedule used by E7.

@@ -60,3 +60,29 @@ func TestSmokeE23(t *testing.T) {
 		}
 	}
 }
+
+// TestSmokeE25 runs the flight-recorder family in-process: a recorded
+// native stress run and a recorded faultinject crash schedule, both
+// machine-checked for linearizability, plus the corruption rejection.
+func TestSmokeE25(t *testing.T) {
+	*expFlag = "E25"
+	*deepFlag = false
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ok := runSelected()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if !ok {
+		t.Fatalf("hiverify -exp E25 failed:\n%s", out)
+	}
+	for _, want := range []string{"recorded stress run", "recorded crash schedule", "corrupted recording rejected", "linearizable"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

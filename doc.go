@@ -60,18 +60,27 @@
 //   - internal/faultinject — the executable HI adversary: deterministic
 //     crash injection at the tables' labeled protocol steppoints, raw
 //     memory dumps and the canonical-distance differ (E23);
+//   - internal/hook — the shared global-observer idiom: a generic
+//     atomic hook point with install/uninstall swap semantics, used by
+//     the steppoint hook, histats and hirec;
 //   - internal/histats — the observability layer: per-goroutine-sharded
 //     atomic counters and log-bucketed latency histograms behind one
 //     global hook pointer, so the disabled path is a single atomic
 //     nil-check; metrics live outside the HI boundary by construction
 //     and by machine check (E24);
+//   - internal/hirec — the flight recorder: lock-free per-goroutine
+//     capture of operation invocations/responses and protocol steps,
+//     extracted to linearize histories so native runs and crash
+//     schedules are machine-checked post hoc, and exported as Chrome
+//     trace JSON and rendered timelines (E25);
 //   - internal/benchfmt — the BENCH_<exp>.json document schema, the
 //     recorder the drivers share, and the regression comparator behind
 //     hibench -check;
 //   - internal/workload — seeded operation-mix generators (uniform and
 //     Zipf-skewed per-key mixes) for benchmarks and drivers;
-//   - internal/trace — paper-figure-style execution rendering, plus the
-//     live protocol-metrics table behind hibench -watch;
+//   - internal/trace — paper-figure-style execution rendering (simulated
+//     schedules and native flight recordings), plus the live
+//     protocol-metrics table behind hibench -watch;
 //   - cmd/hiverify, cmd/histarve, cmd/hibench, cmd/hitrace — the
 //     experiment drivers (see EXPERIMENTS.md).
 //

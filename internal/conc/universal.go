@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"hiconc/internal/core"
+	"hiconc/internal/hirec"
 	"hiconc/internal/histats"
 	"hiconc/internal/spec"
 )
@@ -233,14 +234,17 @@ func (u *Universal) applyUpdate(i int, op core.Op) int {
 				if combined {
 					histats.Inc(histats.CtrCombineBatch)
 					histats.Observe(histats.HistBatchSize, uint64(len(recs)))
+					hirec.Step("combine-batch")
 				}
 				if helped {
 					histats.Inc(histats.CtrUniversalHelp)
+					hirec.Step("universal-help")
 				}
 				*prio = (*prio + 1) % u.n // Line 15
 				contended = false
 			} else {
 				histats.Inc(histats.CtrHeadRetry)
+				hirec.Step("head-retry")
 				contended = true
 			}
 			continue

@@ -6,29 +6,34 @@ import (
 	"testing"
 
 	"hiconc/internal/hihash"
+	"hiconc/internal/hirec"
 	"hiconc/internal/histats"
 )
 
 // TestInstrumentedDumpsIdentical extends the twin checks to the
-// observability layer: with a histats recorder installed AND a steppoint
-// hook observing every protocol step, the tables' raw memory must stay
-// bit-identical to fully uninstrumented runs. Metrics and hooks observe
-// the execution — which is history — so any influence on the
-// representation would be an HI leak through the instrumentation itself.
+// observability layer: with a histats recorder installed, a steppoint
+// hook observing every protocol step AND the hirec flight recorder
+// capturing events, the tables' raw memory must stay bit-identical to
+// fully uninstrumented runs. Metrics, hooks and recordings observe the
+// execution — which is history — so any influence on the representation
+// would be an HI leak through the instrumentation itself.
 func TestInstrumentedDumpsIdentical(t *testing.T) {
 	trials := 100
 	if testing.Short() {
 		trials = 20
 	}
 	r := histats.NewRecorder()
+	flight := hirec.NewRecorder(1 << 12)
 	var hookCalls int
 	hook := func(hihash.Steppoint) { hookCalls++ }
 	instrument := func(on bool) {
 		if on {
 			histats.EnableWith(r)
+			hirec.EnableWith(flight)
 			hihash.SetStepHook(hook)
 		} else {
 			histats.Disable()
+			hirec.Disable()
 			hihash.SetStepHook(nil)
 		}
 	}
@@ -72,5 +77,8 @@ func TestInstrumentedDumpsIdentical(t *testing.T) {
 	}
 	if r.Snapshot().Total() == 0 {
 		t.Fatal("the recorder counted nothing; the metrics sites never fired")
+	}
+	if rec := flight.Snapshot(); len(rec.Events)+int(rec.Dropped) == 0 {
+		t.Fatal("the flight recorder captured nothing; the step sites never fired")
 	}
 }

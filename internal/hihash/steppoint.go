@@ -1,9 +1,9 @@
 package hihash
 
 import (
-	"sync/atomic"
-
+	"hiconc/internal/hirec"
 	"hiconc/internal/histats"
+	"hiconc/internal/hook"
 )
 
 // Steppoints label the shared-memory transitions of the native table's
@@ -94,10 +94,11 @@ func (p Steppoint) String() string {
 	return "steppoint(?)"
 }
 
-// stepHook is the installed observer, nil when none. It is an atomic
-// pointer so tests can install and remove hooks while table goroutines
-// run; the indirection through *func keeps the load race-free.
-var stepHook atomic.Pointer[func(Steppoint)]
+// stepHook is the installed observer, empty when none. It is a
+// hook.Point so tests can install and remove hooks while table
+// goroutines run; the indirection through *func keeps the load
+// race-free.
+var stepHook hook.Point[func(Steppoint)]
 
 // SetStepHook installs fn as the global steppoint observer (nil removes
 // it). The hook is called synchronously on the goroutine that performed
@@ -108,17 +109,18 @@ var stepHook atomic.Pointer[func(Steppoint)]
 // atomic load per protocol step.
 func SetStepHook(fn func(Steppoint)) {
 	if fn == nil {
-		stepHook.Store(nil)
+		stepHook.Uninstall()
 		return
 	}
-	stepHook.Store(&fn)
+	stepHook.Install(&fn)
 }
 
 // stepCounter maps each steppoint to its histats mirror, so the metrics
-// layer counts protocol steps without a second enumeration. The two
-// observers are independent globals: faultinject owns the step hook,
-// histats owns its recorder pointer, and either may be installed without
-// the other.
+// layer counts protocol steps without a second enumeration. The
+// observers are independent globals (each an internal/hook point):
+// faultinject owns the step hook, histats owns its recorder pointer,
+// hirec owns the flight recorder, and any may be installed without the
+// others.
 var stepCounter = [NumSteppoints]histats.Counter{
 	SpBoundedUpdate: histats.CtrBoundedUpdate,
 	SpMarkSet:       histats.CtrMarkSet,
@@ -133,11 +135,15 @@ var stepCounter = [NumSteppoints]histats.Counter{
 	SpGonePlaced:    histats.CtrGonePlaced,
 }
 
-// stepAt reports a completed protocol step to the installed hook and the
-// metrics layer. The count is recorded first: the CAS has already
-// landed, and a fault-injection hook may kill the goroutine.
+// stepAt reports a completed protocol step to the installed hook, the
+// metrics layer and the flight recorder. The count and the recorded
+// event land first: the CAS has already happened, and a fault-injection
+// hook may kill the goroutine — the crash then shows up in the
+// recording as a step with no following response, exactly what the
+// post-hoc checker expects of a crashed operation.
 func stepAt(p Steppoint) {
 	histats.Inc(stepCounter[p])
+	hirec.Step(steppointNames[p])
 	if fn := stepHook.Load(); fn != nil {
 		(*fn)(p)
 	}

@@ -5,11 +5,13 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"hiconc/internal/hirec"
 	"hiconc/internal/histats"
 )
 
-// TestHookChurnUnderTraffic races the two observer install paths — the
-// steppoint hook and the histats recorder — against live table traffic.
+// TestHookChurnUnderTraffic races the three observer install paths — the
+// steppoint hook, the histats recorder and the hirec flight recorder —
+// against live table traffic.
 // Sites that loaded an old pointer finish against the old observer, so
 // churning both while four goroutines insert, remove, look up and grow
 // must be race-clean (this test exists for -race) and must never lose
@@ -49,13 +51,16 @@ func TestHookChurnUnderTraffic(t *testing.T) {
 		for i := 0; i < flips; i++ {
 			SetStepHook(hook)
 			histats.Enable()
+			hirec.Enable(1 << 12)
 			SetStepHook(nil)
 			histats.Disable()
+			hirec.Disable()
 		}
 	}()
 	wg.Wait()
 	SetStepHook(nil)
 	histats.Disable()
+	hirec.Disable()
 
 	// The table itself must be unharmed: every key whose last op was an
 	// insert is present.

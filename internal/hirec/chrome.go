@@ -1,0 +1,73 @@
+package hirec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace event format (the JSON
+// chrome://tracing and Perfetto load): B/E duration pairs for
+// operations, instant events for protocol steps. Timestamps are
+// microseconds relative to the recording's first event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recording in Chrome trace event format:
+// one track per lane, an operation as a B/E duration slice named
+// "insert(5)", a protocol step as a thread-scoped instant event.
+// Recordings with drops export fine (the trace just has holes); only
+// history extraction refuses them.
+func WriteChromeTrace(w io.Writer, rec Recording) error {
+	var base int64
+	for i, ev := range rec.Events {
+		if i == 0 || ev.TS < base {
+			base = ev.TS
+		}
+	}
+	evs := make([]chromeEvent, 0, len(rec.Events))
+	for _, ev := range rec.Events {
+		ce := chromeEvent{
+			TS:  float64(ev.TS-base) / 1e3,
+			PID: 0,
+			TID: int(ev.Lane),
+		}
+		switch ev.Kind {
+		case KInvoke:
+			ce.Name = fmt.Sprintf("%s(%d)", ev.Name, ev.Arg)
+			ce.Ph = "B"
+			ce.Args = map[string]any{"seq": ev.Seq, "op": ev.Index}
+		case KReturn:
+			ce.Name = fmt.Sprintf("%s(%d)", ev.Name, ev.Arg)
+			ce.Ph = "E"
+			ce.Args = map[string]any{"seq": ev.Seq, "resp": ev.Resp}
+		case KStep:
+			ce.Name = ev.Name
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = map[string]any{"seq": ev.Seq}
+		default:
+			continue
+		}
+		evs = append(evs, ce)
+	}
+	doc := struct {
+		TraceEvents []chromeEvent  `json:"traceEvents"`
+		Metadata    map[string]any `json:"metadata,omitempty"`
+	}{
+		TraceEvents: evs,
+		Metadata: map[string]any{
+			"recorder": "hiconc/internal/hirec",
+			"dropped":  rec.Dropped,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,72 @@
+package hirec
+
+import (
+	"fmt"
+
+	"hiconc/internal/core"
+	"hiconc/internal/linearize"
+)
+
+// Records converts a recording into linearize operation records so a
+// native execution can be checked for linearizability post hoc
+// (linearize.CheckRecords against the object's spec). The lane becomes
+// the history's process id and the lane-local operation index pairs each
+// response with its invocation; real-time precedence comes from the
+// positions of the events in sequence order. Operations whose response
+// was never recorded — a goroutine killed mid-operation by
+// internal/faultinject, or an operation still in flight at Snapshot —
+// become pending records, which the checker may linearize or drop.
+//
+// Records rejects recordings it cannot vouch for: any dropped events
+// (the history has holes), a response without a matching invocation, a
+// duplicate invocation or response for the same (lane, index), or a
+// corrupt event kind. A rejected recording must not be fed to the
+// checker — a verdict on a broken history proves nothing.
+func Records(rec Recording) ([]linearize.OpRecord, error) {
+	if rec.Dropped > 0 {
+		return nil, fmt.Errorf("hirec: recording dropped %d events; raise the per-lane capacity or shorten the run", rec.Dropped)
+	}
+	type key struct{ lane, idx int32 }
+	index := map[key]int{}
+	var recs []linearize.OpRecord
+	pos := 0 // position among op events (steps carry no ordering of their own)
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case KStep:
+			continue
+		case KInvoke:
+			k := key{ev.Lane, ev.Index}
+			if _, dup := index[k]; dup {
+				return nil, fmt.Errorf("hirec: duplicate invocation for g%d op %d (seq %d)", ev.Lane, ev.Index, ev.Seq)
+			}
+			index[k] = len(recs)
+			recs = append(recs, linearize.OpRecord{
+				PID: int(ev.Lane), OpIndex: int(ev.Index),
+				Op:  core.Op{Name: ev.Name, Arg: int(ev.Arg)},
+				Inv: pos, Ret: -1,
+			})
+			pos++
+		case KReturn:
+			j, ok := index[key{ev.Lane, ev.Index}]
+			if !ok {
+				return nil, fmt.Errorf("hirec: response without an invocation for g%d op %d (seq %d)", ev.Lane, ev.Index, ev.Seq)
+			}
+			if recs[j].Completed {
+				return nil, fmt.Errorf("hirec: duplicate response for g%d op %d (seq %d)", ev.Lane, ev.Index, ev.Seq)
+			}
+			recs[j].Completed = true
+			recs[j].Resp = int(ev.Resp)
+			recs[j].Ret = pos
+			pos++
+		default:
+			return nil, fmt.Errorf("hirec: corrupt event kind %d (seq %d)", ev.Kind, ev.Seq)
+		}
+	}
+	// Pending operations return after everything recorded.
+	for i := range recs {
+		if !recs[i].Completed {
+			recs[i].Ret = pos
+		}
+	}
+	return recs, nil
+}

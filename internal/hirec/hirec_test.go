@@ -1,0 +1,186 @@
+package hirec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"hiconc/internal/spec"
+)
+
+// drain guards against a previous test leaving a recorder installed.
+func drain(t *testing.T) {
+	t.Helper()
+	Disable()
+	t.Cleanup(func() { Disable() })
+}
+
+func TestDisabledNoops(t *testing.T) {
+	drain(t)
+	if Enabled() || Active() != nil {
+		t.Fatal("recorder installed at test start")
+	}
+	tok := OpStart(spec.OpInsert, 7)
+	if tok.r != nil {
+		t.Fatal("disabled OpStart returned a live token")
+	}
+	OpEnd(tok, 0) // must not panic
+	Step("mark-set")
+}
+
+func TestRecordAndExtract(t *testing.T) {
+	drain(t)
+	r := Enable(1 << 10)
+	const workers, opsPer = 4, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				tok := OpStart(spec.OpInsert, w*opsPer+i+1)
+				Step("bounded-update")
+				OpEnd(tok, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if Disable() != r {
+		t.Fatal("Disable returned a different recorder")
+	}
+	rec := r.Snapshot()
+	if rec.Dropped != 0 {
+		t.Fatalf("dropped %d events with ample capacity", rec.Dropped)
+	}
+	wantEvents := workers * opsPer * 3 // invoke + step + return
+	if len(rec.Events) != wantEvents {
+		t.Fatalf("got %d events, want %d", len(rec.Events), wantEvents)
+	}
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].Seq <= rec.Events[i-1].Seq {
+			t.Fatalf("events not in strict Seq order at %d", i)
+		}
+	}
+	recs, err := Records(rec)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != workers*opsPer {
+		t.Fatalf("got %d op records, want %d", len(recs), workers*opsPer)
+	}
+	for _, op := range recs {
+		if !op.Completed {
+			t.Fatalf("op %v not completed after a drained run", op.Op)
+		}
+		if op.Inv >= op.Ret {
+			t.Fatalf("op %v has Inv %d >= Ret %d", op.Op, op.Inv, op.Ret)
+		}
+	}
+}
+
+func TestPendingOperation(t *testing.T) {
+	r := NewRecorder(16)
+	tok := r.OpStart(spec.OpInsert, 3)
+	_ = tok // response never recorded: a crashed or in-flight operation
+	recs, err := Records(r.Snapshot())
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Completed {
+		t.Fatalf("want one pending record, got %+v", recs)
+	}
+	if recs[0].Ret != 1 {
+		t.Fatalf("pending op must return after everything recorded, Ret=%d", recs[0].Ret)
+	}
+}
+
+func TestTokenPinsRecorderAcrossDisable(t *testing.T) {
+	drain(t)
+	Enable(16)
+	tok := OpStart(spec.OpInc, 1)
+	old := Disable()
+	Enable(16)     // a different recorder takes over
+	OpEnd(tok, 42) // must land on old, not the new one
+	fresh := Disable()
+	if n := len(fresh.Snapshot().Events); n != 0 {
+		t.Fatalf("new recorder captured %d events from an old token", n)
+	}
+	recs, err := Records(old.Snapshot())
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != 1 || !recs[0].Completed || recs[0].Resp != 42 {
+		t.Fatalf("old recorder should hold the completed op, got %+v", recs)
+	}
+}
+
+func TestFullLaneDropsAndExtractionRefuses(t *testing.T) {
+	r := NewRecorder(1) // one slot per lane
+	for i := 0; i < 8; i++ {
+		tok := r.OpStart(spec.OpInsert, i+1)
+		r.opEnd(tok, 0)
+	}
+	rec := r.Snapshot()
+	if rec.Dropped == 0 {
+		t.Fatal("full lane did not count drops")
+	}
+	if _, err := Records(rec); err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("Records accepted a recording with drops: %v", err)
+	}
+}
+
+func TestExtractionRejectsCorruptRecordings(t *testing.T) {
+	inv := Event{Seq: 1, Kind: KInvoke, Lane: 0, Index: 0, Name: spec.OpInsert, Arg: 1}
+	ret := Event{Seq: 2, Kind: KReturn, Lane: 0, Index: 0, Name: spec.OpInsert, Arg: 1}
+	cases := []struct {
+		name string
+		rec  Recording
+		frag string
+	}{
+		{"orphan return", Recording{Events: []Event{ret}}, "without an invocation"},
+		{"duplicate invocation", Recording{Events: []Event{inv, inv}}, "duplicate invocation"},
+		{"duplicate response", Recording{Events: []Event{inv, ret, ret}}, "duplicate response"},
+		{"corrupt kind", Recording{Events: []Event{{Seq: 1, Kind: 99}}}, "corrupt event kind"},
+	}
+	for _, tc := range cases {
+		if _, err := Records(tc.rec); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.frag, err)
+		}
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	r := NewRecorder(64)
+	tok := r.OpStart(spec.OpInsert, 5)
+	r.Step("mark-set")
+	r.opEnd(tok, 0)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Snapshot()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	if phases["B"] != 1 || phases["E"] != 1 || phases["i"] != 1 {
+		t.Fatalf("unexpected phase mix %v", phases)
+	}
+	if doc.TraceEvents[0].Name != "insert(5)" {
+		t.Fatalf("B event name %q", doc.TraceEvents[0].Name)
+	}
+}

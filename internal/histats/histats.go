@@ -3,8 +3,9 @@
 // histograms for the protocol events of internal/hihash, internal/shard,
 // internal/conc and internal/obj.
 //
-// The whole layer hangs off one global atomic pointer, the same hook
-// pattern as hihash.SetStepHook: every instrumented site calls Inc,
+// The whole layer hangs off one global atomic pointer (an
+// internal/hook point, the same idiom as hihash.SetStepHook and the
+// internal/hirec flight recorder): every instrumented site calls Inc,
 // Add or Observe, whose disabled path is a single atomic load and a
 // predicted branch (no recorder allocated, nothing written). Enabling
 // installs a Recorder; events then land in per-goroutine shards of
@@ -28,6 +29,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"unsafe"
+
+	"hiconc/internal/hook"
 )
 
 // Counter identifies one monotonically increasing event count.
@@ -153,31 +156,28 @@ func (h Hist) String() string {
 	return "hist(?)"
 }
 
-// active is the installed recorder, nil when metrics are disabled. It is
-// the single global the whole layer hangs off: the disabled path of
-// every instrumented site is this load plus a nil check.
-var active atomic.Pointer[Recorder]
+// active is the installed recorder (an internal/hook point), empty when
+// metrics are disabled. It is the single global the whole layer hangs
+// off: the disabled path of every instrumented site is this load plus a
+// nil check.
+var active hook.Point[Recorder]
 
 // Enable installs a fresh Recorder as the global sink and returns it.
 // Any previously installed recorder stops receiving events (sites that
 // already loaded it finish their current write against it).
 func Enable() *Recorder {
 	r := NewRecorder()
-	active.Store(r)
+	active.Install(r)
 	return r
 }
 
 // EnableWith installs r (which may be shared with direct Recorder use).
-func EnableWith(r *Recorder) { active.Store(r) }
+func EnableWith(r *Recorder) { active.Install(r) }
 
 // Disable uninstalls the global recorder and returns it (nil if metrics
 // were already disabled), so callers can still snapshot what was
 // gathered.
-func Disable() *Recorder {
-	r := active.Load()
-	active.Store(nil)
-	return r
-}
+func Disable() *Recorder { return active.Uninstall() }
 
 // Active returns the installed recorder, nil when disabled.
 func Active() *Recorder { return active.Load() }
@@ -185,7 +185,7 @@ func Active() *Recorder { return active.Load() }
 // Enabled reports whether a recorder is installed. Drivers use it to
 // skip building values that only exist to be observed (e.g. timing an
 // operation costs two clock reads — don't pay them to observe nothing).
-func Enabled() bool { return active.Load() != nil }
+func Enabled() bool { return active.Enabled() }
 
 // Inc adds 1 to counter c. Disabled cost: one atomic load + branch.
 func Inc(c Counter) {

@@ -1,0 +1,36 @@
+// Package hook factors out the one-global-atomic-observer idiom that the
+// observability layers share: hihash's steppoint hook, histats' recorder
+// pointer and hirec's flight recorder each hang off a single global
+// atomic pointer, so the disabled path of every instrumented site is one
+// atomic load and a predicted branch.
+//
+// A Point carries no synchronization beyond the pointer itself, which is
+// exactly the idiom's contract: Install and Uninstall may race with
+// instrumented traffic, and sites that already loaded the old observer
+// finish their current event against it. Callers that need stronger
+// hand-off (e.g. "no site still writes to the old observer") must
+// quiesce the instrumented code themselves.
+package hook
+
+import "sync/atomic"
+
+// Point is one global observer slot for observers of type T. The zero
+// Point is empty and ready to use.
+type Point[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// Install makes v the observer and returns the previous one (nil if the
+// point was empty). Installing nil is equivalent to Uninstall.
+func (pt *Point[T]) Install(v *T) (old *T) { return pt.p.Swap(v) }
+
+// Uninstall empties the point and returns the observer that was
+// installed (nil if none), so callers can still drain what it gathered.
+func (pt *Point[T]) Uninstall() (old *T) { return pt.p.Swap(nil) }
+
+// Load returns the installed observer, nil when the point is empty.
+// This is the load every instrumented site's fast path pays.
+func (pt *Point[T]) Load() *T { return pt.p.Load() }
+
+// Enabled reports whether an observer is installed.
+func (pt *Point[T]) Enabled() bool { return pt.p.Load() != nil }

@@ -1,0 +1,64 @@
+package hook
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInstallUninstall(t *testing.T) {
+	var pt Point[int]
+	if pt.Load() != nil || pt.Enabled() {
+		t.Fatal("zero Point is not empty")
+	}
+	a, b := new(int), new(int)
+	if old := pt.Install(a); old != nil {
+		t.Fatalf("Install on empty point returned %v", old)
+	}
+	if pt.Load() != a || !pt.Enabled() {
+		t.Fatal("Install(a) did not take")
+	}
+	if old := pt.Install(b); old != a {
+		t.Fatal("Install(b) did not return the previous observer")
+	}
+	if old := pt.Uninstall(); old != b {
+		t.Fatal("Uninstall did not return the installed observer")
+	}
+	if pt.Load() != nil || pt.Enabled() {
+		t.Fatal("Uninstall left an observer installed")
+	}
+	if old := pt.Uninstall(); old != nil {
+		t.Fatal("Uninstall on empty point returned an observer")
+	}
+	if old := pt.Install(nil); old != nil {
+		t.Fatal("Install(nil) on empty point returned an observer")
+	}
+}
+
+// TestChurn races installs, uninstalls and loads; every Load must see
+// nil or one of the installed observers (this test exists for -race).
+func TestChurn(t *testing.T) {
+	var pt Point[int]
+	a, b := new(int), new(int)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(v *int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				pt.Install(v)
+				pt.Uninstall()
+			}
+		}([]*int{a, b}[w])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4000; i++ {
+			if v := pt.Load(); v != nil && v != a && v != b {
+				t.Error("Load returned a pointer that was never installed")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -137,7 +137,15 @@ func (s *searcher) search(mask uint64, state string) bool {
 // respect to spec; it returns nil on success and a descriptive error
 // otherwise. At most 64 operations are supported.
 func Check(spec core.Spec, events []sim.Event) error {
-	recs := FromEvents(events)
+	return CheckRecords(spec, FromEvents(events))
+}
+
+// CheckRecords is Check over already-paired operation records — the entry
+// point for histories that did not come from the simulator, such as
+// native flight recordings extracted by internal/hirec. Records need
+// only consistent Inv/Ret positions (a precedes b in real time iff
+// a.Ret < b.Inv); pending records are optional to linearize.
+func CheckRecords(spec core.Spec, recs []OpRecord) error {
 	if len(recs) > 64 {
 		return fmt.Errorf("linearize: history too large (%d ops)", len(recs))
 	}

@@ -2,7 +2,9 @@ package obj
 
 import (
 	"hiconc/internal/hihash"
+	"hiconc/internal/hirec"
 	"hiconc/internal/histats"
+	"hiconc/internal/spec"
 )
 
 // HashSet is the user-facing HICHT table: a lock-free, history-
@@ -37,24 +39,36 @@ func NewHashSetWithGroups(domain, nGroups int) *HashSet {
 }
 
 // Insert adds v. It cannot fail: a full home group displaces, a full
-// table grows. The API-layer operation counters (histats.CtrHashInsert
-// and friends) live here rather than inside the table, so direct
-// hihash users pay no per-operation metric sites at all.
+// table grows. The API-layer observation sites — the histats operation
+// counters and the hirec invoke/return events — live here rather than
+// inside the table, so direct hihash users pay no per-operation sites
+// at all.
 func (h *HashSet) Insert(v int) {
 	histats.Inc(histats.CtrHashInsert)
+	t := hirec.OpStart(spec.OpInsert, v)
 	h.s.Insert(v)
+	hirec.OpEnd(t, 0)
 }
 
 // Remove deletes v.
 func (h *HashSet) Remove(v int) {
 	histats.Inc(histats.CtrHashRemove)
+	t := hirec.OpStart(spec.OpRemove, v)
 	h.s.Remove(v)
+	hirec.OpEnd(t, 0)
 }
 
 // Contains reports whether v is in the set.
 func (h *HashSet) Contains(v int) bool {
 	histats.Inc(histats.CtrHashLookup)
-	return h.s.Contains(v)
+	t := hirec.OpStart(spec.OpLookup, v)
+	in := h.s.Contains(v)
+	if in {
+		hirec.OpEnd(t, 1)
+	} else {
+		hirec.OpEnd(t, 0)
+	}
+	return in
 }
 
 // Grow doubles the table's group array now (it also grows by itself
@@ -91,10 +105,20 @@ func NewHashMap(keys int) *HashMap {
 }
 
 // Inc increments key's count and returns the previous count.
-func (h *HashMap) Inc(key int) int { return h.m.Inc(key) }
+func (h *HashMap) Inc(key int) int {
+	t := hirec.OpStart(spec.OpInc, key)
+	prev := h.m.Inc(key)
+	hirec.OpEnd(t, prev)
+	return prev
+}
 
 // Dec decrements key's count and returns the previous count.
-func (h *HashMap) Dec(key int) int { return h.m.Dec(key) }
+func (h *HashMap) Dec(key int) int {
+	t := hirec.OpStart(spec.OpDec, key)
+	prev := h.m.Dec(key)
+	hirec.OpEnd(t, prev)
+	return prev
+}
 
 // Get returns key's current count (one atomic load).
 func (h *HashMap) Get(key int) int { return h.m.Get(key) }

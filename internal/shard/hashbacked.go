@@ -8,6 +8,7 @@ import (
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
 	"hiconc/internal/hihash"
+	"hiconc/internal/hirec"
 	"hiconc/internal/spec"
 )
 
@@ -69,7 +70,10 @@ func (s *HashSet) Apply(pid int, op core.Op) int {
 		panic(fmt.Sprintf("shard: set key %d out of range 1..%d", op.Arg, s.domain))
 	}
 	sl := s.route[op.Arg-1]
-	return s.shards[sl.shard].Apply(pid, core.Op{Name: op.Name, Arg: sl.local})
+	t := hirec.OpStart(op.Name, op.Arg)
+	rsp := s.shards[sl.shard].Apply(pid, core.Op{Name: op.Name, Arg: sl.local})
+	hirec.OpEnd(t, rsp)
+	return rsp
 }
 
 // Insert adds key. It cannot fail: a full bucket group displaces, a full

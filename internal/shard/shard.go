@@ -33,6 +33,7 @@ import (
 	"hiconc/internal/conc"
 	"hiconc/internal/core"
 	"hiconc/internal/hihash"
+	"hiconc/internal/hirec"
 	"hiconc/internal/histats"
 	"hiconc/internal/spec"
 )
@@ -146,7 +147,12 @@ func (s *Set) Apply(pid int, op core.Op) int {
 	sl := s.route[op.Arg-1]
 	histats.Inc(histats.CtrShardOp)
 	histats.Observe(histats.HistShardIndex, uint64(sl.shard))
-	return s.shards[sl.shard].Apply(pid, core.Op{Name: op.Name, Arg: sl.local})
+	// The flight recorder sees the caller's view of the operation (the
+	// global key), not the shard-local remapping.
+	t := hirec.OpStart(op.Name, op.Arg)
+	rsp := s.shards[sl.shard].Apply(pid, core.Op{Name: op.Name, Arg: sl.local})
+	hirec.OpEnd(t, rsp)
+	return rsp
 }
 
 // Insert adds key on behalf of process pid.
@@ -270,7 +276,10 @@ func (m *Map) Apply(pid int, op core.Op) int {
 	sh := ShardOf(op.Arg, len(m.shards))
 	histats.Inc(histats.CtrShardOp)
 	histats.Observe(histats.HistShardIndex, uint64(sh))
-	return m.shards[sh].Apply(pid, op)
+	t := hirec.OpStart(op.Name, op.Arg)
+	rsp := m.shards[sh].Apply(pid, op)
+	hirec.OpEnd(t, rsp)
+	return rsp
 }
 
 // Inc increments key's count on behalf of pid, returning the previous count.

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"hiconc/internal/hirec"
+)
+
+// NativeTimeline renders a flight recording (internal/hirec) in the
+// style of Figure1, but for a real execution instead of a simulated one:
+// one line per recorded event in global sequence order, showing the
+// microsecond offset from the first event, the recorder lane (the
+// history's process id), and whether the event is an operation
+// invocation, its response, or a labeled protocol step the goroutine
+// performed in between. The sequence column is the ordering authority;
+// the timestamp column is coarse wall-clock decoration.
+func NativeTimeline(rec hirec.Recording) string {
+	var b strings.Builder
+	lanes := map[int32]bool{}
+	var base int64
+	for i, ev := range rec.Events {
+		lanes[ev.Lane] = true
+		if i == 0 || ev.TS < base {
+			base = ev.TS
+		}
+	}
+	var span int64
+	for _, ev := range rec.Events {
+		if ev.TS-base > span {
+			span = ev.TS - base
+		}
+	}
+	fmt.Fprintf(&b, "native flight recording: %d events over %d lanes (span %dµs, %d dropped)\n",
+		len(rec.Events), len(lanes), span/1e3, rec.Dropped)
+	for _, ev := range rec.Events {
+		us := (ev.TS - base) / 1e3
+		switch ev.Kind {
+		case hirec.KInvoke:
+			fmt.Fprintf(&b, "%5d %6dµs  g%-2d >>> invoke  %s(%d)\n",
+				ev.Seq, us, ev.Lane, ev.Name, ev.Arg)
+		case hirec.KReturn:
+			fmt.Fprintf(&b, "%5d %6dµs  g%-2d <<< return  %d from %s(%d)\n",
+				ev.Seq, us, ev.Lane, ev.Resp, ev.Name, ev.Arg)
+		case hirec.KStep:
+			fmt.Fprintf(&b, "%5d %6dµs  g%-2d  ·  step    %s\n",
+				ev.Seq, us, ev.Lane, ev.Name)
+		default:
+			fmt.Fprintf(&b, "%5d %6dµs  g%-2d  ?  corrupt kind %d\n",
+				ev.Seq, us, ev.Lane, ev.Kind)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package trace_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hiconc/internal/hirec"
+	"hiconc/internal/spec"
+	"hiconc/internal/trace"
+)
+
+// TestNativeTimelineGolden pins the flight-recording rendering against a
+// golden file, using a hand-built recording with fixed timestamps (real
+// recordings carry wall-clock time, so the fixture is synthetic: two
+// lanes, one overlapping op pair, a protocol step, and a drop count).
+// Regenerate with: go test ./internal/trace -run NativeTimelineGolden -update
+func TestNativeTimelineGolden(t *testing.T) {
+	base := int64(1_000_000_000)
+	rec := hirec.Recording{
+		Dropped: 2,
+		Events: []hirec.Event{
+			{Seq: 1, TS: base, Kind: hirec.KInvoke, Lane: 0, Index: 0, Name: spec.OpInsert, Arg: 5},
+			{Seq: 2, TS: base + 3_000, Kind: hirec.KInvoke, Lane: 1, Index: 0, Name: spec.OpLookup, Arg: 5},
+			{Seq: 3, TS: base + 7_000, Kind: hirec.KStep, Lane: 0, Index: -1, Name: "mark-set"},
+			{Seq: 4, TS: base + 12_000, Kind: hirec.KReturn, Lane: 0, Index: 0, Name: spec.OpInsert, Arg: 5, Resp: 0},
+			{Seq: 5, TS: base + 15_000, Kind: hirec.KReturn, Lane: 1, Index: 0, Name: spec.OpLookup, Arg: 5, Resp: 1},
+		},
+	}
+	got := trace.NativeTimeline(rec)
+
+	golden := filepath.Join("testdata", "native_timeline.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("timeline drifted from golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
