@@ -1,0 +1,151 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hiconc/internal/conc"
+	"hiconc/internal/core"
+	"hiconc/internal/hihash"
+	"hiconc/internal/histats"
+	"hiconc/internal/spec"
+	"hiconc/internal/workload"
+)
+
+// referenceReads routes lookups through ContainsReference — the
+// retained pre-E26 read path (unbounded validated double collect with
+// slice-collecting scans) — while updates take the live paths. It is
+// the A side of the E26 read-path A/B.
+type referenceReads struct{ s *hihash.Set }
+
+func (r referenceReads) Name() string { return r.s.Name() + "+reference-reads" }
+
+func (r referenceReads) Apply(pid int, op core.Op) int {
+	if op.Name == spec.OpLookup {
+		if r.s.ContainsReference(op.Arg) {
+			return 1
+		}
+		return 0
+	}
+	return r.s.Apply(pid, op)
+}
+
+// runE26 measures the E26 read path and machine-checks its contract: a
+// read-heavy Zipf sweep of the SWAR + bounded-retry lookups against the
+// pre-E26 reference read path and a sync.Map baseline, the retry and
+// probe distributions of a churny read-heavy run via histats, and three
+// gates — observed retries never exceed the fast-path budget, a
+// displacing lookup at quiescence allocates nothing, and the new read
+// path beats the reference on the read-heavy sweep at 8 goroutines.
+func runE26() error {
+	fmt.Println("=== E26: fast-path reads — SWAR probes, bounded retries, an allocation-free hot path")
+	const domain, zipf = 16384, 1.2
+	const g0 = domain / 8
+	readFracs := []float64{0.5, 0.9, 0.99}
+	procs := []int{1, 2, 4, 8, 16}
+
+	newDisp := func() conc.Applier {
+		s := hihash.NewDisplaceSet(domain, g0)
+		preload(s, domain/4)
+		return s
+	}
+	refDisp := func() conc.Applier {
+		s := hihash.NewDisplaceSet(domain, g0)
+		preload(s, domain/4)
+		return referenceReads{s}
+	}
+	syncMap := func() conc.Applier {
+		m := conc.NewSyncMapSet()
+		preload(m, domain/4)
+		return m
+	}
+	measure := func(kase string, a conc.Applier, n int, mixes [][]core.Op) time.Duration {
+		d := runPerKey(a, n, *opsFlag/n, mixes)
+		recordPerOp("E26", kase, d, *opsFlag)
+		return d
+	}
+
+	fmt.Printf("\n    displacing table, Zipf s=%.1f read sweep (ns/op; speedup is\n", zipf)
+	fmt.Println("    reference/new — the same table and update paths, only the read")
+	fmt.Println("    path differs):")
+	fmt.Printf("%8s %6s %14s %12s %12s %10s\n",
+		"reads", "procs", "swar+bounded", "reference", "sync.Map", "speedup")
+	var tNew8, tRef8 time.Duration
+	for _, rf := range readFracs {
+		for _, n := range procs {
+			mixes := perKeyMixes(n, func(g *workload.Gen) []core.Op {
+				return g.SetZipf(8192, domain, zipf, rf)
+			})
+			tag := fmt.Sprintf("read=%.2f/n=%d", rf, n)
+			tNew := measure(tag+"/swar-bounded", newDisp(), n, mixes)
+			tRef := measure(tag+"/reference", refDisp(), n, mixes)
+			tSM := measure(tag+"/syncmap", syncMap(), n, mixes)
+			if rf == 0.99 && n == 8 {
+				tNew8, tRef8 = tNew, tRef
+			}
+			fmt.Printf("%7.0f%% %6d %14s %12s %12s %9.2fx\n", 100*rf, n,
+				perOp(tNew, *opsFlag), perOp(tRef, *opsFlag), perOp(tSM, *opsFlag),
+				float64(tRef.Nanoseconds())/float64(tNew.Nanoseconds()))
+		}
+	}
+	speedup8 := float64(tRef8.Nanoseconds()) / float64(tNew8.Nanoseconds())
+	record("E26", "read=0.99/n=8/speedup-vs-reference", "ratio", speedup8)
+
+	// Retry and probe distributions, gathered with metrics enabled on an
+	// untimed run (enabling histats during the timed sweep would distort
+	// it). The update-heavy mix is the interesting one here: retries only
+	// happen when a writer races the probe run a reader is validating.
+	const distN = 8
+	r := histats.Enable()
+	distMixes := perKeyMixes(distN, func(g *workload.Gen) []core.Op {
+		return g.SetZipf(8192, domain, zipf, 0.5)
+	})
+	runPerKey(newDisp(), distN, *opsFlag/distN, distMixes)
+	snap := r.Snapshot()
+	histats.Disable()
+	retries := snap.Counters[histats.CtrLookupRetry]
+	helps := snap.Counters[histats.CtrLookupHelp]
+	rh := &snap.Hists[histats.HistLookupRetry]
+	pl := &snap.Hists[histats.HistProbeLen]
+	fmt.Printf("\n    read-path interference at 50%% reads, %d goroutines, %d ops:\n", distN, *opsFlag)
+	fmt.Printf("      validation retries: %d, help fallbacks: %d\n", retries, helps)
+	fmt.Printf("      lookups that retried at all: %d, their retries p50/p99/max: %d/%d/%d (budget %d)\n",
+		rh.Count, rh.Quantile(0.50), rh.Quantile(0.99), rh.Max(), hihash.LookupRetryLimit())
+	fmt.Printf("      insert probe length p50/p99/max: %d/%d/%d\n",
+		pl.Quantile(0.50), pl.Quantile(0.99), pl.Max())
+	record("E26", "dist/lookup-retries", "count", float64(retries))
+	record("E26", "dist/help-fallbacks", "count", float64(helps))
+	record("E26", "dist/retry-max", "count", float64(rh.Max()))
+
+	// The allocation gate: a displacing lookup at quiescence — over a
+	// table that grew online and holds displaced probe runs — must not
+	// allocate. The collect record lives in fixed stack buffers
+	// (probeScan); a regression here is a silent hot-path heap record.
+	as := hihash.NewDisplaceSet(domain, 16)
+	preload(as, domain/4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		as.Contains(1)      // present, hot
+		as.Contains(domain) // absent
+	})
+	fmt.Printf("\n    allocations per displacing lookup pair at quiescence: %.1f\n", allocs)
+	record("E26", "gate/lookup-allocs", "count", allocs)
+
+	var gateErr error
+	if max, lim := rh.Max(), uint64(hihash.LookupRetryLimit()); max > lim {
+		gateErr = errors.Join(gateErr, fmt.Errorf("E26: observed lookup retries %d exceed the fast-path budget %d", max, lim))
+	}
+	if allocs != 0 {
+		gateErr = errors.Join(gateErr, fmt.Errorf("E26: displacing lookup allocates %.1f per op pair, want 0", allocs))
+	}
+	if tNew8 >= tRef8 {
+		gateErr = errors.Join(gateErr, fmt.Errorf("E26: SWAR+bounded read path (%s) did not beat the reference read path (%s) at 8 goroutines, 99%% reads",
+			perOp(tNew8, *opsFlag), perOp(tRef8, *opsFlag)))
+	}
+	if gateErr == nil {
+		fmt.Printf("    gate: retries within budget %d, zero-alloc lookups, %.2fx vs reference at 8 goroutines\n",
+			hihash.LookupRetryLimit(), speedup8)
+	}
+	return gateErr
+}

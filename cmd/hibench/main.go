@@ -38,6 +38,13 @@
 //	      linearizability checker (and a corrupted recording that must be
 //	      rejected), and the raw-dump identity check that recording stays
 //	      outside the HI boundary.
+//	E26 — fast-path reads: the SWAR + bounded-retry read path of the
+//	      displacing table against the pre-E26 reference read path and a
+//	      sync.Map baseline across read-heavy Zipf mixes, the retry and
+//	      probe distributions of a churny run, and machine-checked gates
+//	      that retries stay within the fast-path budget, lookups at
+//	      quiescence allocate nothing, and the new path wins read-heavy
+//	      at 8 goroutines.
 //
 // Absolute numbers depend on the machine; the paper makes no quantitative
 // claims, so the interesting output is the relative shape (see
@@ -62,7 +69,7 @@
 //
 // Usage:
 //
-//	hibench [-exp E10,...,E25|all] [-ops N] [-procs list] [-json]
+//	hibench [-exp E10,...,E26|all] [-ops N] [-procs list] [-json]
 //	        [-check [-tol F] [-benchdir DIR]] [-maxoverhead PCT]
 //	        [-record FILE] [-http ADDR] [-watch [-tick D] [-watchfor D]]
 package main
@@ -81,7 +88,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20, E21, E22, E23, E24, E25 or 'all'")
+	expFlag   = flag.String("exp", "all", "experiments to run: E10, E11, E12, E20, E21, E22, E23, E24, E25, E26 or 'all'")
 	opsFlag   = flag.Int("ops", 200000, "operations per measurement")
 	procsFlag = flag.String("procs", "1,2,4,8", "goroutine counts for E11")
 	jsonFlag  = flag.Bool("json", false, "write one BENCH_<exp>.json per experiment family")
@@ -127,7 +134,7 @@ func parseProcs() ([]int, error) {
 
 // knownExps is the experiment vocabulary -exp is validated against: a
 // typo must fail loudly instead of silently selecting nothing.
-var knownExps = []string{"E10", "E11", "E12", "E20", "E21", "E22", "E23", "E24", "E25"}
+var knownExps = []string{"E10", "E11", "E12", "E20", "E21", "E22", "E23", "E24", "E25", "E26"}
 
 // run executes the selected experiment families (split from main so the
 // smoke tests can drive it in-process).
@@ -196,6 +203,9 @@ func run() (retErr error) {
 	}
 	if all || want["E25"] {
 		gateErr = errors.Join(gateErr, runE25())
+	}
+	if all || want["E26"] {
+		gateErr = errors.Join(gateErr, runE26())
 	}
 	// Read the committed baselines before -json can overwrite them (the
 	// common CI invocation runs from the repository root with both flags).

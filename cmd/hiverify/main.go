@@ -7,9 +7,12 @@
 // displacing, online-resizing one (E22), the adversarial-observer
 // family (E23): raw-memory twin dumps, enumerated crash schedules on the
 // simulated twins, and the native Kill matrix over every labeled
-// protocol step — and the flight recorder (E25): native concurrent runs
+// protocol step — the flight recorder (E25): native concurrent runs
 // and faultinject crash schedules captured by internal/hirec and
-// machine-checked for linearizability post hoc.
+// machine-checked for linearizability post hoc — and the E26 read
+// path: a recorded lookup-heavy run machine-checked for
+// linearizability, reads against a parked relocation mark, and twin
+// raw dumps built under concurrent reader hammering.
 //
 // Usage:
 //
@@ -46,7 +49,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21,E22,E23,E25) or 'all'")
+	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E6,E7,E8,E9,E13,E14,E15,E21,E22,E23,E25,E26) or 'all'")
 	deepFlag = flag.Bool("deep", false, "use deeper exploration bounds (slower)")
 )
 
@@ -90,6 +93,7 @@ func runSelected() bool {
 	run("E22", "Unbounded HICHT: displacement + online resize are SQHI and linearizable; perfect HI provably lost", runE22)
 	run("E23", "Adversarial observers: twin raw dumps indistinguishable; every crash point recovers to canonical", runE23)
 	run("E25", "Flight recorder: native executions captured and machine-checked for linearizability", runE25)
+	run("E26", "Fast-path reads: lookup-heavy runs linearizable; reads correct against parked marks; twin dumps identical under readers", runE26)
 
 	return !failed
 }
@@ -807,6 +811,187 @@ func runE25() error {
 		fmt.Printf("    corrupted recording rejected  PASS (%v)\n", err)
 	}
 	return nil
+}
+
+// runE26 verifies the E26 read path of the displacing table end to end:
+//
+//	(a) a recorded lookup-heavy concurrent run — extracted by the
+//	    flight recorder and machine-checked for linearizability, so the
+//	    SWAR + bounded-retry lookups are checked inside real
+//	    interleavings, not just in isolation;
+//	(b) reads against a parked relocation mark — an updater killed at
+//	    the mark-set CAS leaves a marked resident with no owner;
+//	    concurrent readers must all terminate with the correct answer
+//	    for every key (the marked resident is logically present, the
+//	    dead insert's key absent), and recovery must restore canonical
+//	    memory;
+//	(c) twin raw dumps built under concurrent reader hammering — the
+//	    E23 twin-identity adversary with readers present throughout,
+//	    checking that the read path (including its helping fallback)
+//	    stays outside the HI boundary.
+func runE26() error {
+	// (a) Recorded lookup-heavy run: three of every four operations are
+	// lookups; the rest churn so the lookups race real updates. Sized to
+	// fit the exhaustive checker's 64-operation cap.
+	const n, opsPer, domain = 4, 8, 16
+	flight := hirec.Enable(1 << 12)
+	s := obj.NewHashSet(domain)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := (pid*5+i)%domain + 1
+				switch {
+				case i%4 == 0:
+					s.Insert(key)
+				case i%8 == 7:
+					s.Remove(key)
+				default:
+					s.Contains(key)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	hirec.Disable()
+	recording := flight.Snapshot()
+	recs, err := hirec.Records(recording)
+	if err != nil {
+		return fmt.Errorf("lookup-heavy extraction: %w", err)
+	}
+	if err := linearize.CheckRecords(spec.NewSet(domain), recs); err != nil {
+		fmt.Print(trace.NativeTimeline(recording))
+		return fmt.Errorf("recorded lookup-heavy run not linearizable: %w", err)
+	}
+	lookups := 0
+	for _, r := range recs {
+		if r.Op.Name == spec.OpLookup {
+			lookups++
+		}
+	}
+	fmt.Printf("    recorded lookup-heavy run: %d ops (%d lookups), linearizable  PASS\n",
+		len(recs), lookups)
+
+	// (b) Park-at-mark readers: fill one bucket group with the four
+	// larger keys of its home run, then insert the smallest — which
+	// outranks every resident and must mark one for relocation — and
+	// kill it at the mark-set CAS. The crash leaves a parked mark with
+	// no owner. Readers must terminate (a parked mark is stable memory,
+	// so validation succeeds) and answer correctly for every key: the
+	// marked resident is logically present, the dead insert's key was
+	// never placed.
+	heavy := e23Heavy(domain, 2)
+	ps := hihash.NewDisplaceSet(domain, 2)
+	for _, k := range heavy[1:] {
+		ps.Insert(k)
+	}
+	in := faultinject.Install(faultinject.Plan{
+		Point: hihash.SpMarkSet, Occurrence: 1, Action: faultinject.Kill,
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ps.Insert(heavy[0])
+	}()
+	wg.Wait()
+	in.Uninstall()
+	if !in.DidFire() {
+		return errors.New("park-at-mark: the displacing insert never reached mark-set")
+	}
+	expected := map[int]bool{}
+	for _, k := range heavy[1:] {
+		expected[k] = true
+	}
+	const parkReaders, parkSweeps = 4, 50
+	errs := make(chan error, parkReaders)
+	for g := 0; g < parkReaders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sweep := 0; sweep < parkSweeps; sweep++ {
+				for k := 1; k <= domain; k++ {
+					if got := ps.Contains(k); got != expected[k] {
+						select {
+						case errs <- fmt.Errorf("park-at-mark: Contains(%d) = %v, want %v", k, got, expected[k]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	// Recovery: re-settling the membership resolves the parked mark and
+	// must restore canonical memory exactly (the e23Matrix recipe).
+	for _, k := range heavy[1:] {
+		ps.Insert(k)
+	}
+	ps.Grow()
+	if got, want := ps.Snapshot(), hihash.CanonicalSetSnapshot(domain, ps.NumGroups(), heavy[1:]); got != want {
+		return fmt.Errorf("park-at-mark: recovery left non-canonical memory\n got:  %s\nwant: %s", got, want)
+	}
+	fmt.Printf("    park-at-mark: %d readers x %d sweeps all correct against a parked mark, recovery canonical  PASS\n",
+		parkReaders, parkSweeps)
+
+	// (c) Twin dumps under readers: the E23 displacing twin adversary
+	// with reader goroutines hammering Contains throughout each build.
+	// Reads — including any slow-path helping they perform — must leave
+	// the final raw dumps byte-identical and canonical.
+	const dDomain, dGroups = 8, 2
+	dheavy := e23Heavy(dDomain, dGroups)
+	trials := depth(200, 800)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		target := e23Target(rng, dDomain, 6)
+		if trial%3 == 0 {
+			target = append([]int(nil), dheavy...)
+		}
+		a, b := hihash.NewDisplaceSet(dDomain, dGroups), hihash.NewDisplaceSet(dDomain, dGroups)
+		e26BuildWithReaders(a, dDomain, target, int64(1000+trial))
+		e26BuildWithReaders(b, dDomain, target, int64(2000+trial))
+		if !bytes.Equal(a.RawDump(), b.RawDump()) {
+			return fmt.Errorf("twins under readers: trial %d: same state %v, different raw dumps", trial, target)
+		}
+		if d := faultinject.CanonicalDistance(a, target); d != 0 {
+			return fmt.Errorf("twins under readers: trial %d: state %v at distance %d from canonical", trial, target, d)
+		}
+	}
+	fmt.Printf("    twins under readers: %4d history pairs with concurrent lookups, dumps byte-identical and canonical  PASS\n",
+		trials)
+	return nil
+}
+
+// e26BuildWithReaders is e23Build with reader goroutines hammering
+// Contains over the whole domain for the duration of the build.
+func e26BuildWithReaders(s *hihash.Set, domain int, target []int, seed int64) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Contains(rng.Intn(domain) + 1)
+				}
+			}
+		}(seed*10 + int64(g))
+	}
+	e23Build(s, domain, target, seed)
+	close(stop)
+	wg.Wait()
 }
 
 // phases builds the two-phase-then-finish schedule used by E7.

@@ -86,3 +86,30 @@ func TestSmokeE25(t *testing.T) {
 		}
 	}
 }
+
+// TestSmokeE26 runs the read-path family in-process: a recorded
+// lookup-heavy run machine-checked for linearizability, reads against
+// a parked relocation mark, and twin raw dumps built under concurrent
+// reader hammering.
+func TestSmokeE26(t *testing.T) {
+	*expFlag = "E26"
+	*deepFlag = false
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	ok := runSelected()
+	os.Stdout = orig
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if !ok {
+		t.Fatalf("hiverify -exp E26 failed:\n%s", out)
+	}
+	for _, want := range []string{"recorded lookup-heavy run", "park-at-mark", "twins under readers"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

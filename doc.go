@@ -53,7 +53,11 @@
 //     perfectly HI; the unbounded variant adds cross-group Robin Hood
 //     displacement (marked, helped relocations) and online resize, and is
 //     state-quiescent HI — both shipped as machine-checked simulated
-//     twins and native sync/atomic ports (Set, Map);
+//     twins and native sync/atomic ports (Set, Map). Since E26 the
+//     native read path is SWAR word-parallel, bounds its validation
+//     retries (falling back to helping after K failures) and runs
+//     allocation-free, with the pre-E26 scalar probe kept as a
+//     differential-testing reference;
 //   - internal/obj — the user-facing objects (Counter, Register,
 //     MaxRegister, Queue, Stack, Set, ShardedSet, ShardedMap, HashSet,
 //     HashMap);

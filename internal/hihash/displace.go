@@ -27,10 +27,15 @@ package hihash
 //
 // Every operation helps complete the relocations it encounters
 // (relocateOut), so a parked relocation cannot wedge the table.
-// Lookups are read-only validated double collects: a scan that answers
-// "absent" must read the same clean words twice. The helping and the
-// flags make the layout self-repairing: whenever no update is pending
-// the memory is exactly DisplacedGroups of the key set — state-quiescent
+// Lookups are validated double collects with a bounded retry budget: a
+// scan that answers "absent" must read the same clean words twice, and
+// after lookupRetryLimit failed validations the reader stops spinning
+// and helps complete the interfering relocations itself (containsSlow),
+// then answers from the stable view it produced. Slot matching inside
+// every scan is word-parallel (swar.go): all four slots of a group word
+// are classified in a handful of ALU ops. The helping and the flags
+// make the layout self-repairing: whenever no update is pending the
+// memory is exactly DisplacedGroups of the key set — state-quiescent
 // history independence, machine-checked on the simulated twin (sim.go).
 //
 // Metrics discipline: the successful protocol CASes are counted by
@@ -38,9 +43,14 @@ package hihash
 // losses, helping, lookup restarts — whose disabled nil-check executes
 // exactly when the contention they count happened, plus one probe-length
 // observation per displacing insert. Lookups that succeed first pass
-// stay instrumentation-free.
+// stay instrumentation-free and allocation-free (the collect records
+// live in a fixed-size stack buffer; TestLookupAllocs pins this).
 
-import "hiconc/internal/histats"
+import (
+	"math/bits"
+
+	"hiconc/internal/histats"
+)
 
 // wstatus is the outcome of one protocol step.
 type wstatus int
@@ -127,47 +137,25 @@ func wordAdd(w, new uint64) uint64 {
 }
 
 // wordFind returns the slot index of key in w (marked or not), or -1.
+// Probe loops that test many words against one key hoist the broadcast
+// and call swarFind directly.
 func wordFind(w uint64, key int) int {
-	for i := 0; i < SlotsPerGroup; i++ {
-		sl := slotAt(w, i)
-		if sl != 0 && sl != flagSlot && int(sl&slotKey) == key {
-			return i
-		}
-	}
-	return -1
+	return swarFind(w, swarBroadcast(key))
 }
 
 // wordZeros counts the empty slots of w.
 func wordZeros(w uint64) int {
-	n := 0
-	for i := 0; i < SlotsPerGroup; i++ {
-		if slotAt(w, i) == 0 {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount64(swarEmptyLanes(w))
 }
 
 // wordFlags counts the restore flags of w.
 func wordFlags(w uint64) int {
-	n := 0
-	for i := 0; i < SlotsPerGroup; i++ {
-		if slotAt(w, i) == flagSlot {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount64(swarFlagLanes(w))
 }
 
 // wordMarks counts the marked keys of w.
 func wordMarks(w uint64) int {
-	n := 0
-	for i := 0; i < SlotsPerGroup; i++ {
-		if sl := slotAt(w, i); sl != 0 && sl != flagSlot && sl&slotMark != 0 {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount64(swarMarkLanes(w))
 }
 
 // wordMaxUnmarked returns the largest unmarked key of w, or 0.
@@ -194,23 +182,22 @@ func wordMaxKey(w uint64) int {
 	return max
 }
 
-// wordAnyMarked returns some marked key of w, or 0.
+// wordAnyMarked returns the lowest-slot marked key of w, or 0.
 func wordAnyMarked(w uint64) int {
-	for i := 0; i < SlotsPerGroup; i++ {
-		sl := slotAt(w, i)
-		if sl != 0 && sl != flagSlot && sl&slotMark != 0 {
-			return int(sl & slotKey)
-		}
+	m := swarMarkLanes(w)
+	if m == 0 {
+		return 0
 	}
-	return 0
+	return int(slotAt(w, bits.TrailingZeros64(m)>>4) & slotKey)
 }
 
 // wordClean reports whether w is a settled, non-full group: no marks, no
 // flags, at least one empty slot. A probe scan may end at a clean group;
 // anything else means the run (or an in-flight relocation) may extend
-// further.
+// further. Branch-free: a clean word has no lane-high (mark/flag) bits
+// at all — which also rules out gone — and some all-zero lane.
 func wordClean(w uint64) bool {
-	return w != gone && wordZeros(w) > 0 && wordFlags(w) == 0 && wordMarks(w) == 0
+	return w&swarHigh == 0 && swarZeroLanes(w) != 0
 }
 
 // probeLimit is the walk length that triggers an online grow of the
@@ -450,11 +437,14 @@ func (s *Set) placed(st *tableState, c, dist int) wstatus {
 	}
 }
 
-// findKey scans every group for c, returning its group or -1.
+// findKey scans every group for c, returning its group or -1. The
+// broadcast is hoisted: the whole sweep is one load, one XOR-mask and
+// one zero-lane test per group. (gone cannot false-match: its lanes
+// carry the reserved key 0x7FFF, which no probe key equals.)
 func (s *Set) findKey(st *tableState, c int) int {
+	bcast := swarBroadcast(c)
 	for g := range st.groups {
-		w := st.groups[g].Load()
-		if w != gone && wordFind(w, c) >= 0 {
+		if swarKeyLanes(st.groups[g].Load(), bcast) != 0 {
 			return g
 		}
 	}
@@ -583,10 +573,93 @@ func (s *Set) restore(st *tableState, g int) wstatus {
 	}
 }
 
-// runScan is one pass of a probe-run scan for key: it reads along key's
-// run until a clean group (or a full cycle), recording every word read
-// for validation. found reports the key seen (marked counts — a marked
-// key is logically present); foundAt/foundMarked locate it.
+// scanCap is the record capacity of the fast-path probe scan: probe
+// runs stay far shorter than this in practice (an insert that walks
+// probeLimit groups already grows the table), so the common case
+// records into fixed stack buffers and the lookup fast path allocates
+// nothing. A pathological run longer than scanCap sets long instead —
+// the fast path then cannot validate and falls through to the slow
+// path, whose slice-based collect has no length cap.
+const scanCap = 32
+
+// probeScan is one fixed-buffer pass of a probe-run scan for key on the
+// lookup fast path: it reads along key's run until a clean group (or a
+// full cycle), recording every word read for validation. found reports
+// the key seen (marked counts — a marked key is logically present).
+// The buffers are plain arrays indexed by n — never self-referential
+// slices, which would defeat escape analysis and put the record on the
+// heap (TestLookupAllocs pins this at zero).
+type probeScan struct {
+	n       int
+	found   bool
+	sawGone bool
+	long    bool
+	groups  [scanCap]int32
+	words   [scanCap]uint64
+}
+
+// fastScan scans key's probe run in st into r (caller-provided so the
+// record lives on the caller's stack). bcast must be
+// swarBroadcast(key) — hoisted so the whole run shares one broadcast.
+// treatGoneFull makes drained groups read as full (used on the old
+// table during migration, where the run logically continues past
+// drained groups); drained groups are not recorded, since gone is
+// final and re-validates trivially.
+func fastScan(st *tableState, key int, bcast uint64, treatGoneFull bool, r *probeScan) {
+	r.n = 0
+	r.found = false
+	r.sawGone = false
+	r.long = false
+	G := len(st.groups)
+	g := GroupOf(key, G)
+	for dist := 0; dist < G; dist++ {
+		w := st.groups[g].Load()
+		if w == gone {
+			r.sawGone = true
+			if !treatGoneFull {
+				return
+			}
+			g = (g + 1) % G
+			continue
+		}
+		if r.n < scanCap {
+			r.groups[r.n] = int32(g)
+			r.words[r.n] = w
+			r.n++
+		} else {
+			r.long = true
+		}
+		if swarKeyLanes(w, bcast) != 0 {
+			r.found = true
+			return
+		}
+		if wordClean(w) {
+			return
+		}
+		g = (g + 1) % G
+	}
+}
+
+// fastMatches re-reads the words of a fast scan and reports whether the
+// memory is unchanged — the validation pass of the double collect. A
+// scan that outgrew its record buffer cannot be validated.
+func fastMatches(st *tableState, r *probeScan) bool {
+	if r.long {
+		return false
+	}
+	for i := 0; i < r.n; i++ {
+		if st.groups[r.groups[i]].Load() != r.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runScan is one slice-collecting pass of a probe-run scan for key,
+// used by the update and slow lookup paths (where a cold allocation is
+// fine and runs must have no length cap). found reports the key seen
+// (marked counts — a marked key is logically present);
+// foundAt/foundMarked locate it.
 type runScan struct {
 	groups      []int
 	words       []uint64
@@ -601,6 +674,7 @@ type runScan struct {
 // run logically continues past drained groups).
 func scanRun(st *tableState, key int, treatGoneFull bool) runScan {
 	var r runScan
+	bcast := swarBroadcast(key)
 	G := len(st.groups)
 	g := GroupOf(key, G)
 	for dist := 0; dist < G; dist++ {
@@ -615,7 +689,7 @@ func scanRun(st *tableState, key int, treatGoneFull bool) runScan {
 			g = (g + 1) % G
 			continue
 		}
-		if i := wordFind(w, key); i >= 0 {
+		if i := swarFind(w, bcast); i >= 0 {
 			r.found = true
 			r.foundAt = g
 			r.foundMarked = slotAt(w, i)&slotMark != 0
@@ -722,41 +796,108 @@ func (s *Set) displaceRemove(key int) int {
 	}
 }
 
+// lookupRetryLimit is K, the fast-path retry budget of a displacing
+// lookup: a validated double collect that fails this many validations
+// is being actively interfered with, and the reader switches from
+// spinning to helping (containsSlow). It is a var, not a const, only so
+// the whitebox tests can reach the slow path without manufacturing K
+// real interferences.
+var lookupRetryLimit = 4
+
+// LookupRetryLimit reports K, the fast-path retry budget of a
+// displacing lookup. The E26 gate checks the observed retry histogram
+// never exceeds it.
+func LookupRetryLimit() int { return lookupRetryLimit }
+
 // displaceContains is Contains for the displacing table: a read-only
 // validated double collect over the probe run — and, during a resize,
 // over the old table first, since keys migrate old-to-new destination
-// first and a source-first scan cannot miss a migrating key.
+// first and a source-first scan cannot miss a migrating key. A positive
+// answer needs no validation (a marked key is logically present, and
+// keys move destination first, so anything seen is or was just now a
+// member); "absent" must read the same clean words twice on a stable
+// state. After lookupRetryLimit failed validations the retry loop ends
+// and the lookup helps the interference to completion instead.
 func (s *Set) displaceContains(key int) bool {
-	for {
+	bcast := swarBroadcast(key)
+	var r, oldScan probeScan
+	for try := 0; try < lookupRetryLimit; try++ {
 		st := s.st.Load()
 		p := st.prev.Load()
-		var oldScan runScan
 		if p != nil {
-			oldScan = scanRun(p, key, true)
+			fastScan(p, key, bcast, true, &oldScan)
 			if oldScan.found {
+				if try > 0 {
+					histats.Observe(histats.HistLookupRetry, uint64(try))
+				}
 				return true
 			}
 		}
+		fastScan(st, key, bcast, false, &r)
+		if r.found {
+			if try > 0 {
+				histats.Observe(histats.HistLookupRetry, uint64(try))
+			}
+			return true
+		}
+		if !r.sawGone && fastMatches(st, &r) &&
+			(p == nil || fastMatches(p, &oldScan)) &&
+			s.st.Load() == st && st.prev.Load() == p {
+			if try > 0 {
+				histats.Observe(histats.HistLookupRetry, uint64(try))
+			}
+			return false
+		}
+		histats.Inc(histats.CtrLookupRetry)
+	}
+	return s.containsSlow(key)
+}
+
+// containsSlow is the helping fallback of the read path: the fast path
+// burned its retry budget against live interference, so instead of
+// spinning further the reader completes the interference itself. It
+// drives any in-flight migration to completion (current), then
+// repeatedly scans the key's run, helping every relocation mark and
+// restore flag it recorded — the same relocateOut/restore machinery the
+// update paths use — until a pass either finds the key or validates
+// clean on a stable state. Every non-terminal pass retires protocol
+// work some update already started, so the loop inherits the update
+// paths' lock-free progress argument instead of spinning on validation.
+//
+// Helping writes to the table, but only the transitions pending updates
+// already own — it can never reach this path without live interference
+// (at quiescence the first validation succeeds), so a read in isolation
+// stays write-free and the raw-dump twin checks keep holding with
+// readers present (DESIGN.md, "The read path").
+func (s *Set) containsSlow(key int) bool {
+	histats.Inc(histats.CtrLookupHelp)
+	histats.Observe(histats.HistLookupRetry, uint64(lookupRetryLimit))
+	for {
+		st := s.current()
 		r := scanRun(st, key, false)
 		if r.found {
 			return true
 		}
 		if r.sawGone {
-			histats.Inc(histats.CtrLookupRetry)
 			continue
 		}
-		if !rescanMatches(st, r) {
-			histats.Inc(histats.CtrLookupRetry)
+		helped := false
+		for i, g := range r.groups {
+			w := r.words[i]
+			if m := wordAnyMarked(w); m != 0 {
+				histats.Inc(histats.CtrHelpRelocate)
+				s.relocateOut(st, m, g)
+				helped = true
+			} else if swarFlagLanes(w) != 0 {
+				s.restore(st, g)
+				helped = true
+			}
+		}
+		if helped {
 			continue
 		}
-		if p != nil && !rescanMatches(p, oldScan) {
-			histats.Inc(histats.CtrLookupRetry)
-			continue
+		if rescanMatches(st, r) && s.st.Load() == st && st.prev.Load() == nil {
+			return false
 		}
-		if s.st.Load() != st || st.prev.Load() != p {
-			histats.Inc(histats.CtrLookupRetry)
-			continue
-		}
-		return false
 	}
 }

@@ -3,6 +3,7 @@ package hihash
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"hiconc/internal/conc"
@@ -137,6 +138,17 @@ func lookupKV(kvs []conc.KV, key int) int {
 	return 0
 }
 
+// bucketPool recycles bucket values (and, through their kvs capacity,
+// the entry arrays) across updates. Only buckets that were NEVER
+// published may be recycled: a bucket that won its pointer CAS is
+// reachable by concurrent readers indefinitely, so add returns a bucket
+// to the pool exactly on the two paths where no other goroutine can
+// have seen it — the canonical-empty result (repl stays nil) and the
+// lost CAS. Under churn the steady state is one pooled bucket per
+// concurrent updater, each carrying a grown entry array, so most
+// updates allocate nothing.
+var bucketPool = sync.Pool{New: func() any { return new(bucket) }}
+
 // add applies delta to key's count and returns the previous count,
 // helping any migration initialize the key's bucket first.
 func (m *Map) add(key, delta int) int {
@@ -168,8 +180,8 @@ func (m *Map) add(key, delta int) int {
 			cur = kvs[i].V
 		}
 		next := cur + delta
-		out := make([]conc.KV, 0, len(kvs)+1)
-		out = append(out, kvs[:i]...)
+		nb := bucketPool.Get().(*bucket)
+		out := append(nb.kvs[:0], kvs[:i]...)
 		if next != 0 {
 			out = append(out, conc.KV{K: key, V: next})
 		}
@@ -178,11 +190,15 @@ func (m *Map) add(key, delta int) int {
 		} else {
 			out = append(out, kvs[i:]...)
 		}
+		nb.kvs = out
+		nb.frozen = false
 		// Canonical empty bucket is the nil pointer, never a pointer to
 		// an empty list.
 		var repl *bucket
 		if len(out) > 0 {
-			repl = &bucket{kvs: out}
+			repl = nb
+		} else {
+			bucketPool.Put(nb)
 		}
 		if st.buckets[b].CompareAndSwap(old, repl) {
 			histats.Inc(histats.CtrMapUpdate)
@@ -191,6 +207,10 @@ func (m *Map) add(key, delta int) int {
 				m.grow(st)
 			}
 			return cur
+		}
+		if repl != nil {
+			// Lost the race: repl was never published, no reader holds it.
+			bucketPool.Put(repl)
 		}
 		histats.Inc(histats.CtrMapCASFail)
 	}

@@ -1,0 +1,72 @@
+package hihash
+
+// Tests of the Map bucket pool (E26 satellite): recycling is restricted
+// to never-published buckets, so concurrent readers must never observe
+// a bucket being rebuilt. The churn test is the -race witness: balanced
+// Inc/Dec pairs under concurrent Get traffic and a forced mid-flight
+// grow must end at exactly zero counts and the canonical empty layout.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMapPoolChurnUnderRace churns Get/Inc/Dec across goroutines.
+// Every writer increments and decrements the same keys equally often,
+// so the final state is all-zero; any use-after-recycle of a published
+// bucket would surface as a race report, a torn read, or a non-empty
+// final snapshot.
+func TestMapPoolChurnUnderRace(t *testing.T) {
+	const keys, writers, readers = 128, 4, 4
+	rounds := 4000
+	if testing.Short() {
+		rounds = 500
+	}
+	m := NewMap(keys, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					m.Get(rng.Intn(keys) + 1)
+				}
+			}
+		}(int64(g))
+	}
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(seed int64) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < rounds; i++ {
+				k := rng.Intn(keys) + 1
+				m.Inc(k)
+				if i == rounds/2 {
+					m.Grow() // migration mid-churn: pooled rebuilds must survive it
+				}
+				m.Dec(k)
+			}
+		}(int64(g))
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	for k := 1; k <= keys; k++ {
+		if v := m.Get(k); v != 0 {
+			t.Fatalf("Get(%d) = %d after balanced churn, want 0", k, v)
+		}
+	}
+	if got, canon := m.Snapshot(), CanonicalMapSnapshot(keys, m.NumBuckets(), nil); got != canon {
+		t.Fatalf("memory not canonical after churn:\n got:  %s\n want: %s", got, canon)
+	}
+}

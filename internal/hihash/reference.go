@@ -1,0 +1,151 @@
+package hihash
+
+// The scalar reference read path, kept alongside the SWAR one for two
+// jobs: the differential tests (FuzzSWARMatch and the exhaustive pattern
+// tests pin every SWAR classifier bit-for-bit against these loops), and
+// experiment E26, which measures the pre-SWAR unbounded-retry lookup as
+// its baseline. Nothing on the hot path calls into this file.
+
+// scalarFind is the reference slot matcher: the slot index of key in w
+// (marked or not), or -1, by extract-and-compare.
+func scalarFind(w uint64, key int) int {
+	for i := 0; i < SlotsPerGroup; i++ {
+		sl := slotAt(w, i)
+		if sl != 0 && sl != flagSlot && int(sl&slotKey) == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// scalarZeros is the reference empty-slot count.
+func scalarZeros(w uint64) int {
+	n := 0
+	for i := 0; i < SlotsPerGroup; i++ {
+		if slotAt(w, i) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// scalarFlags is the reference restore-flag count.
+func scalarFlags(w uint64) int {
+	n := 0
+	for i := 0; i < SlotsPerGroup; i++ {
+		if slotAt(w, i) == flagSlot {
+			n++
+		}
+	}
+	return n
+}
+
+// scalarMarks is the reference marked-key count.
+func scalarMarks(w uint64) int {
+	n := 0
+	for i := 0; i < SlotsPerGroup; i++ {
+		if sl := slotAt(w, i); sl != 0 && sl != flagSlot && sl&slotMark != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// scalarAnyMarked is the reference marked-key pick: the lowest-slot
+// marked key of w, or 0.
+func scalarAnyMarked(w uint64) int {
+	for i := 0; i < SlotsPerGroup; i++ {
+		sl := slotAt(w, i)
+		if sl != 0 && sl != flagSlot && sl&slotMark != 0 {
+			return int(sl & slotKey)
+		}
+	}
+	return 0
+}
+
+// scalarClean is the reference settled-group predicate: no marks, no
+// flags, at least one empty slot, not drained.
+func scalarClean(w uint64) bool {
+	return w != gone && scalarZeros(w) > 0 && scalarFlags(w) == 0 && scalarMarks(w) == 0
+}
+
+// referenceScan is one slice-collecting pass of the pre-E26 probe scan:
+// it reads along key's run until a clean group (or a full cycle),
+// recording every word for validation.
+func referenceScan(st *tableState, key int, treatGoneFull bool) (groups []int, words []uint64, found, sawGone bool) {
+	G := len(st.groups)
+	g := GroupOf(key, G)
+	for dist := 0; dist < G; dist++ {
+		w := st.groups[g].Load()
+		groups = append(groups, g)
+		words = append(words, w)
+		if w == gone {
+			sawGone = true
+			if !treatGoneFull {
+				return
+			}
+			g = (g + 1) % G
+			continue
+		}
+		if scalarFind(w, key) >= 0 {
+			found = true
+			return
+		}
+		if scalarClean(w) {
+			return
+		}
+		g = (g + 1) % G
+	}
+	return
+}
+
+// referenceMatches re-reads a referenceScan's words.
+func referenceMatches(st *tableState, groups []int, words []uint64) bool {
+	for i, g := range groups {
+		if st.groups[g].Load() != words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsReference is the pre-E26 read path of the displacing table — a
+// scalar-matching, slice-collecting, unbounded-retry validated double
+// collect — retained verbatim as the measured baseline of experiment
+// E26. It is correct (the E26 sweep answers from it too) but slower: it
+// allocates its collect records, compares slots one at a time, and
+// under update churn retries without bound instead of helping. It
+// panics for the bounded table, which never had this path.
+func (s *Set) ContainsReference(key int) bool {
+	s.checkKey(key)
+	if !s.displaced {
+		panic("hihash: ContainsReference on a bounded table")
+	}
+	for {
+		st := s.st.Load()
+		p := st.prev.Load()
+		var oldGroups []int
+		var oldWords []uint64
+		if p != nil {
+			var found bool
+			oldGroups, oldWords, found, _ = referenceScan(p, key, true)
+			if found {
+				return true
+			}
+		}
+		groups, words, found, sawGone := referenceScan(st, key, false)
+		if found {
+			return true
+		}
+		if sawGone || !referenceMatches(st, groups, words) {
+			continue
+		}
+		if p != nil && !referenceMatches(p, oldGroups, oldWords) {
+			continue
+		}
+		if s.st.Load() != st || st.prev.Load() != p {
+			continue
+		}
+		return false
+	}
+}

@@ -28,6 +28,8 @@ package hihash
 // load — the standard residual leak of grow-only history-independent
 // hash tables, stated in DESIGN.md.
 
+import "math/bits"
+
 // maxGroupsFactor caps growth at roughly four slots per domain key:
 // beyond that no insert can fail for lack of room (keys are distinct and
 // at most domain of them exist), so further doubling would only burn
@@ -158,12 +160,11 @@ func (s *Set) drainGroup(p *tableState, g int, cur *tableState) {
 			}
 			continue
 		}
+		// First occupied slot, word-parallel (swar.go): the busy-lane
+		// mask is zero exactly when the group is fully drained.
 		var sl uint64
-		for i := 0; i < SlotsPerGroup; i++ {
-			if v := slotAt(w, i); v != 0 {
-				sl = v
-				break
-			}
+		if busy := swarBusyLanes(w); busy != 0 {
+			sl = slotAt(w, bits.TrailingZeros64(busy)>>4)
 		}
 		if sl == 0 {
 			if p.groups[g].CompareAndSwap(w, gone) {

@@ -817,10 +817,20 @@ func (t *simTable) remove(key int) int {
 	}
 }
 
-// lookup is the validated double collect, old array first during a
-// migration.
+// simLookupRetryLimit is the sim twin's K, mirroring the native
+// lookupRetryLimit: after this many failed validations the reader stops
+// spinning and helps (lookupSlow). It is smaller than the native budget
+// so the exhaustive checker reaches the slow path within its schedule
+// bounds.
+const simLookupRetryLimit = 2
+
+// lookup is the bounded-retry validated double collect, old array first
+// during a migration, mirroring the native displaceContains: a positive
+// answer needs no validation, "absent" must read the same clean words
+// twice on a stable level, and after simLookupRetryLimit failed
+// validations the reader helps the interference instead (lookupSlow).
 func (t *simTable) lookup(key int) int {
-	for {
+	for try := 0; try < simLookupRetryLimit; try++ {
 		lv := t.level()
 		if lv == 1 {
 			found, _, _, oldWords, oldGroups, _ := t.scan(0, key, true)
@@ -847,6 +857,56 @@ func (t *simTable) lookup(key int) int {
 			continue
 		}
 		if t.validate(0, groups, words) && t.level() == 0 {
+			return 0
+		}
+	}
+	return t.lookupSlow(key)
+}
+
+// lookupSlow is the sim mirror of the native containsSlow: drive any
+// in-flight migration to completion first (like updates do), then scan
+// the run, help every relocation mark and restore flag met, and answer
+// once a pass finds the key or validates clean on a stable level.
+func (t *simTable) lookupSlow(key int) int {
+	for {
+		lv := t.level()
+		if lv == 1 {
+			// The key may sit displaced anywhere along its old-array run;
+			// finish the whole drain before judging absence (the native
+			// slow path's current() does the same).
+			for g := 0; g < t.p.G; g++ {
+				t.drainGroup(g)
+			}
+		}
+		found, _, _, words, groups, sawGone := t.scan(lv, key, false)
+		if found {
+			return 1
+		}
+		if sawGone {
+			continue
+		}
+		helped := false
+		for i, g := range groups {
+			if words[i] == simGone {
+				continue
+			}
+			for _, sl := range decodeSlots(words[i]) {
+				if sl.marked {
+					t.relocateOut(lv, sl.key, g)
+					helped = true
+					break
+				}
+				if sl.flag {
+					t.restore(lv, g)
+					helped = true
+					break
+				}
+			}
+		}
+		if helped {
+			continue
+		}
+		if t.validate(lv, groups, words) && t.level() == lv {
 			return 0
 		}
 	}

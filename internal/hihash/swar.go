@@ -1,0 +1,95 @@
+package hihash
+
+// SWAR (SIMD-within-a-register) slot matching for the packed group word.
+//
+// A group is one uint64 of four 16-bit slots; each slot is a 15-bit key
+// (0 = empty) plus the relocation mark in bit 15, and flagSlot (mark bit
+// with key 0) is the restore flag. The read path classifies all four
+// slots of a word in a handful of ALU operations instead of a
+// four-iteration extract-and-compare loop:
+//
+//   - broadcast the probe key into every lane (one multiply by the
+//     per-lane ones pattern), XOR against the word, and mask off the mark
+//     bits: a lane is zero exactly where the slot's key matches;
+//   - detect zero lanes borrow-free: every lane of y|swarHigh is at
+//     least 0x8000, so subtracting 1 from each lane cannot borrow into
+//     its neighbour, and the lane's high bit survives the subtraction
+//     unless the lane was exactly 0x8000 — i.e. unless y's lane was 0.
+//     ^((y|swarHigh) - swarLanes) & swarHigh is therefore the exact
+//     zero-lane mask for any y with clear lane-high bits (which the
+//     & swarLow above guarantees).
+//
+// The same zero-lane primitive classifies empties (low bits zero, mark
+// clear), restore flags (low bits zero, mark set) and marked keys (low
+// bits nonzero, mark set), which the probe-scan predicates (wordClean,
+// wordZeros, ...) are built from in displace.go.
+//
+// Two encoding facts keep the matcher honest with no extra masking:
+// probe keys are 1..MaxDomain (0x7FFE), so a key match can never hit an
+// empty lane (key 0) or the reserved key 0x7FFF — and the migration
+// sentinel gone (all ones, four lanes of key 0x7FFF) can never
+// false-match either. The differential fuzz test FuzzSWARMatch pins all
+// of this bit-for-bit against the scalar reference loop (reference.go).
+
+import "math/bits"
+
+const (
+	// swarLanes has 1 in the low bit of every 16-bit lane; multiplying a
+	// 16-bit value by it broadcasts the value into all four lanes.
+	swarLanes = 0x0001_0001_0001_0001
+	// swarHigh selects the mark bit of every lane.
+	swarHigh = 0x8000_8000_8000_8000
+	// swarLow selects the 15 key bits of every lane.
+	swarLow = 0x7FFF_7FFF_7FFF_7FFF
+)
+
+// swarBroadcast replicates key into all four lanes. Callers hoist it out
+// of probe loops: one multiply serves every word of the run.
+func swarBroadcast(key int) uint64 { return uint64(key) * swarLanes }
+
+// swarZeroLanes returns the mark-bit mask of the all-zero lanes of y.
+// y must have the high bit of every lane clear (mask with swarLow
+// first); the result is then exact — no false positives from borrows.
+func swarZeroLanes(y uint64) uint64 {
+	return ^((y | swarHigh) - swarLanes) & swarHigh
+}
+
+// swarKeyLanes returns the mark-bit mask of the lanes whose slot key
+// equals the broadcast key (marked or not). bcast must be
+// swarBroadcast(key) for a key in 1..MaxDomain.
+func swarKeyLanes(w, bcast uint64) uint64 {
+	return swarZeroLanes((w ^ bcast) & swarLow)
+}
+
+// swarFind returns the lowest slot index whose key matches bcast, or -1.
+func swarFind(w, bcast uint64) int {
+	m := swarKeyLanes(w, bcast)
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(m) >> 4
+}
+
+// swarEmptyLanes returns the mark-bit mask of the empty slots (key and
+// mark both zero).
+func swarEmptyLanes(w uint64) uint64 {
+	return swarZeroLanes(w&swarLow) &^ w
+}
+
+// swarFlagLanes returns the mark-bit mask of the restore flags (key
+// zero, mark set).
+func swarFlagLanes(w uint64) uint64 {
+	return swarZeroLanes(w&swarLow) & w
+}
+
+// swarMarkLanes returns the mark-bit mask of the marked keys (key
+// nonzero, mark set).
+func swarMarkLanes(w uint64) uint64 {
+	return w & swarHigh &^ swarZeroLanes(w&swarLow)
+}
+
+// swarBusyLanes returns the mark-bit mask of the non-empty slots (any
+// key, flag or mark).
+func swarBusyLanes(w uint64) uint64 {
+	return swarHigh &^ swarEmptyLanes(w)
+}

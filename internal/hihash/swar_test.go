@@ -1,0 +1,106 @@
+package hihash
+
+// Differential tests of the SWAR word classifiers (swar.go) against the
+// scalar reference loops (reference.go). The classifiers are specified
+// for every uint64 whatsoever — well-formed packed groups, the gone
+// sentinel, and garbage alike — so the tests quantify over arbitrary
+// words: exhaustively over all four-slot combinations of a boundary
+// slot alphabet, and by fuzz over random words and keys.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// slotAlphabet is the boundary slot vocabulary of the exhaustive sweep:
+// empty, restore flag, minimum and maximum legal keys (marked and not),
+// the reserved key 0x7FFF that only the gone sentinel carries, and a
+// mid-range key.
+var slotAlphabet = []uint64{
+	0,
+	flagSlot,
+	1, 1 | slotMark,
+	0x7FFE, 0x7FFE | slotMark,
+	0x7FFF, 0x7FFF | slotMark,
+	0x1234, 0x1234 | slotMark,
+}
+
+// checkWord cross-checks every SWAR classifier against its scalar
+// reference on one word/key pair.
+func checkWord(t *testing.T, w uint64, key int) {
+	t.Helper()
+	bcast := swarBroadcast(key)
+	if got, want := swarFind(w, bcast), scalarFind(w, key); got != want {
+		t.Fatalf("swarFind(%#x, key=%d) = %d, scalar %d", w, key, got, want)
+	}
+	if got, want := wordZeros(w), scalarZeros(w); got != want {
+		t.Fatalf("wordZeros(%#x) = %d, scalar %d", w, got, want)
+	}
+	if got, want := wordFlags(w), scalarFlags(w); got != want {
+		t.Fatalf("wordFlags(%#x) = %d, scalar %d", w, got, want)
+	}
+	if got, want := wordMarks(w), scalarMarks(w); got != want {
+		t.Fatalf("wordMarks(%#x) = %d, scalar %d", w, got, want)
+	}
+	if got, want := wordAnyMarked(w), scalarAnyMarked(w); got != want {
+		t.Fatalf("wordAnyMarked(%#x) = %d, scalar %d", w, got, want)
+	}
+	if got, want := wordClean(w), scalarClean(w); got != want {
+		t.Fatalf("wordClean(%#x) = %v, scalar %v", w, got, want)
+	}
+	// The busy-lane mask (drain scan) must complement the empty lanes
+	// and pick the same first occupied slot a scalar walk picks.
+	busy := swarBusyLanes(w)
+	for i := 0; i < SlotsPerGroup; i++ {
+		lane := busy >> (16*i + 15) & 1
+		if (slotAt(w, i) != 0) != (lane == 1) {
+			t.Fatalf("swarBusyLanes(%#x) lane %d = %d", w, i, lane)
+		}
+	}
+}
+
+// TestSWARExhaustiveSlotPatterns sweeps every four-slot combination of
+// the boundary alphabet (10^4 words) against boundary keys.
+func TestSWARExhaustiveSlotPatterns(t *testing.T) {
+	keys := []int{1, 2, 0x1234, 0x7FFD, 0x7FFE}
+	for _, a := range slotAlphabet {
+		for _, b := range slotAlphabet {
+			for _, c := range slotAlphabet {
+				for _, d := range slotAlphabet {
+					w := a | b<<16 | c<<32 | d<<48
+					for _, k := range keys {
+						checkWord(t, w, k)
+					}
+				}
+			}
+		}
+	}
+	for _, k := range keys {
+		checkWord(t, gone, k)
+	}
+}
+
+// TestSWARRandomWords cross-checks fully random words (not just packed
+// alphabet combinations) so garbage bit patterns are covered too.
+func TestSWARRandomWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for i := 0; i < 200000; i++ {
+		w := rng.Uint64()
+		checkWord(t, w, rng.Intn(MaxDomain)+1)
+	}
+}
+
+// FuzzSWARMatch is the differential fuzz target of the ISSUE-9 matcher:
+// an arbitrary word and key must classify bit-identically under SWAR
+// and the scalar reference. Seeds covering the structural boundaries
+// are committed under testdata/fuzz/FuzzSWARMatch.
+func FuzzSWARMatch(f *testing.F) {
+	f.Add(uint64(0), uint16(1))
+	f.Add(gone, uint16(0x7FFE))
+	f.Add(uint64(1)|flagSlot<<16|(0x7FFE|slotMark)<<32, uint16(0x7FFE))
+	f.Add(uint64(0x1234)*swarLanes, uint16(0x1234))
+	f.Fuzz(func(t *testing.T, w uint64, key uint16) {
+		k := int(key)%MaxDomain + 1
+		checkWord(t, w, k)
+	})
+}

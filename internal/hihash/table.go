@@ -251,8 +251,11 @@ func (s *Set) Remove(key int) int {
 	}
 }
 
-// Contains reports membership of key: a single atomic load for the
-// bounded table, a validated probe-run scan for the displacing table.
+// Contains reports membership of key: a single atomic load plus a
+// branch-free word-parallel match (swar.go) for the bounded table, a
+// validated probe-run scan with a bounded retry budget for the
+// displacing table. (The bounded table never marks slots, so matching
+// marked-or-not is exact for it.)
 func (s *Set) Contains(key int) bool {
 	s.checkKey(key)
 	if s.displaced {
@@ -260,14 +263,7 @@ func (s *Set) Contains(key int) bool {
 	}
 	st := s.st.Load()
 	w := st.groups[GroupOf(key, len(st.groups))].Load()
-	var keys [SlotsPerGroup]int
-	n := unpack(w, &keys)
-	for i := 0; i < n; i++ {
-		if keys[i] == key {
-			return true
-		}
-	}
-	return false
+	return swarKeyLanes(w, swarBroadcast(key)) != 0
 }
 
 // Apply implements conc.Applier (the pid is unused — the table needs no

@@ -53,12 +53,13 @@ const (
 	CtrDrainDropped
 	CtrGonePlaced
 
-	// hihash retry behaviour. All three are cold-path sites: their
+	// hihash retry behaviour. All four are cold-path sites: their
 	// disabled nil-check only executes when the contention they count
 	// actually happened, so a quiet table pays nothing for them.
 	CtrHashCASFail  // a CAS on a group word lost its race (one retry loop turn)
 	CtrLookupRetry  // a validated double collect had to restart
 	CtrHelpRelocate // a relocation completed on behalf of another operation
+	CtrLookupHelp   // a lookup burned its retry budget and fell back to helping
 
 	// API-layer operation counts (obj.HashSet — the table itself keeps
 	// its single-load lookups instrumentation-free; see DESIGN.md).
@@ -101,6 +102,7 @@ var counterNames = [NumCounters]string{
 	CtrHashCASFail:   "hash-cas-fail",
 	CtrLookupRetry:   "lookup-retry",
 	CtrHelpRelocate:  "help-relocate",
+	CtrLookupHelp:    "lookup-help",
 	CtrMapUpdate:     "map-update",
 	CtrMapCASFail:    "map-cas-fail",
 	CtrMapGrow:       "map-grow",
@@ -128,6 +130,7 @@ type Hist uint8
 const (
 	HistProbeLen    Hist = iota // groups walked by a displacing placement
 	HistRelocDist               // landing distance of a completed relocation
+	HistLookupRetry             // validation retries of a lookup that retried at all
 	HistBatchSize               // operations folded into one combining SC
 	HistShardIndex              // which shard an operation routed to
 	HistBucketLen               // map bucket length after an update
@@ -141,6 +144,7 @@ const (
 var histNames = [NumHists]string{
 	HistProbeLen:    "probe-len",
 	HistRelocDist:   "reloc-dist",
+	HistLookupRetry: "lookup-retries",
 	HistBatchSize:   "batch-size",
 	HistShardIndex:  "shard-index",
 	HistBucketLen:   "bucket-len",

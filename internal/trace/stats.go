@@ -7,13 +7,28 @@ import (
 	"hiconc/internal/histats"
 )
 
+// alwaysShow lists the metrics StatsTable renders even at zero: for
+// the E26 read path, absence is the information — a read-heavy run
+// whose lookup-retry and lookup-help rows read 0 is the headline (no
+// lookup ever needed a second collect), and hiding the rows would make
+// that indistinguishable from the metric not being wired at all.
+var alwaysShowCounters = map[histats.Counter]bool{
+	histats.CtrLookupRetry: true,
+	histats.CtrLookupHelp:  true,
+}
+
+var alwaysShowHists = map[histats.Hist]bool{
+	histats.HistLookupRetry: true,
+}
+
 // StatsTable renders a histats snapshot as the live protocol-metrics
 // table of `hibench -watch`: one row per non-zero counter (total, and
 // events/sec against prev when given), then one row per non-zero
 // histogram with count, mean, p50/p90/p99 and max. Zero counters and
-// empty histograms are suppressed so the table only shows what the
-// workload actually exercised; pass prev = nil for a since-start view
-// without the rate column.
+// empty histograms are suppressed — except the read-path retry metrics
+// (alwaysShowCounters/alwaysShowHists), whose zeros are meaningful —
+// so the table only shows what the workload actually exercised; pass
+// prev = nil for a since-start view without the rate column.
 func StatsTable(cur, prev *histats.Snapshot) string {
 	var b strings.Builder
 	withRate := prev != nil
@@ -29,7 +44,7 @@ func StatsTable(cur, prev *histats.Snapshot) string {
 	}
 	for c := histats.Counter(0); c < histats.NumCounters; c++ {
 		total := cur.Counters[c]
-		if total == 0 {
+		if total == 0 && !alwaysShowCounters[c] {
 			continue
 		}
 		if withRate {
@@ -43,14 +58,14 @@ func StatsTable(cur, prev *histats.Snapshot) string {
 		}
 	}
 
-	fmt.Fprintf(&b, "\n%-12s %10s %10s %8s %8s %8s %8s\n",
+	fmt.Fprintf(&b, "\n%-14s %10s %10s %8s %8s %8s %8s\n",
 		"hist", "count", "mean", "p50", "p90", "p99", "max")
 	for h := histats.Hist(0); h < histats.NumHists; h++ {
 		hs := &cur.Hists[h]
-		if hs.Count == 0 {
+		if hs.Count == 0 && !alwaysShowHists[h] {
 			continue
 		}
-		fmt.Fprintf(&b, "%-12s %10d %10.1f %8d %8d %8d %8d\n",
+		fmt.Fprintf(&b, "%-14s %10d %10.1f %8d %8d %8d %8d\n",
 			h, hs.Count, hs.Mean(),
 			hs.Quantile(0.50), hs.Quantile(0.90), hs.Quantile(0.99), hs.Max())
 	}

@@ -64,7 +64,9 @@ func TestStatsTableGolden(t *testing.T) {
 }
 
 // TestStatsTableSuppressesZeroRows: an idle recorder renders only the
-// headers — the table shows what the workload exercised, nothing else.
+// headers — the table shows what the workload exercised, nothing else —
+// except the read-path retry metrics, whose zero rows are the E26
+// signal (no lookup ever retried) and must always render.
 func TestStatsTableSuppressesZeroRows(t *testing.T) {
 	r := histats.NewRecorder()
 	out := trace.StatsTable(r.Snapshot(), nil)
@@ -72,6 +74,14 @@ func TestStatsTableSuppressesZeroRows(t *testing.T) {
 		if containsRow(out, c.String()) {
 			t.Errorf("zero counter %v rendered:\n%s", c, out)
 		}
+	}
+	for _, c := range []histats.Counter{histats.CtrLookupRetry, histats.CtrLookupHelp} {
+		if !containsRow(out, c.String()) {
+			t.Errorf("read-path counter %v suppressed at zero:\n%s", c, out)
+		}
+	}
+	if !containsRow(out, histats.HistLookupRetry.String()) {
+		t.Errorf("read-path histogram %v suppressed at zero:\n%s", histats.HistLookupRetry, out)
 	}
 }
 
