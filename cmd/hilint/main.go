@@ -1,0 +1,115 @@
+// Command hilint runs the project's static-invariant analyzers
+// (internal/hilint) over the tree — the checks that machine-enforce the
+// conventions the HI guarantees rest on but the compiler cannot see
+// (DESIGN.md, "Static invariants"):
+//
+//	steppoint  — every atomic write to an HI group/bucket word maps to
+//	             a labeled Steppoint (E23 crash-matrix coverage cannot
+//	             rot as CAS sites grow).
+//	hookpoint  — hook.Point observers are loaded once into a nil-checked
+//	             local (the ≤2%-overhead disabled-path idiom of E24/E25).
+//	hiboundary — declared read-path functions stay write-free and
+//	             allowlisted; "unsafe" imports are confined to the
+//	             declared raw-dump files.
+//	sleepwait  — no bare time.Sleep synchronization in tests, examples/
+//	             or cmd/.
+//
+// With -escape, hilint additionally runs the escape-audit gate
+// (internal/hilint/escape): the declared hot-path functions must
+// compile with zero heap escapes, checked against the compiler's own
+// -gcflags=-m=2 trace.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or internal error.
+//
+// Usage:
+//
+//	hilint [-run steppoint,...|all] [-escape] [-list] [packages...]
+//
+// Packages are directories, "dir/..." walks recursively; the default is
+// "./...". CI runs `go run ./cmd/hilint ./...` plus
+// `go run ./cmd/hilint -escape` from the module root on every commit.
+//
+// The binary also speaks the go vet tool protocol (vettool.go), so the
+// suite can ride vet's caching and package enumeration:
+//
+//	go build -o /tmp/hilint ./cmd/hilint
+//	go vet -vettool=/tmp/hilint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"hiconc/internal/hilint"
+	"hiconc/internal/hilint/analysis"
+	"hiconc/internal/hilint/escape"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: args are the command-line arguments
+// after the program name; the exit code comes back to main.
+func run(args []string, stdout, stderr io.Writer) int {
+	if code, ok := vettool(args, stdout, stderr); ok {
+		return code
+	}
+	fs := flag.NewFlagSet("hilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runSel := fs.String("run", "all", "comma-separated analyzers to run, or 'all'")
+	escapeGate := fs.Bool("escape", false, "also run the hot-path escape-audit gate (shells out to go build)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range hilint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-12s %s\n", "escape", "(-escape) hot-path functions compile with zero heap escapes")
+		return 0
+	}
+
+	analyzers, err := hilint.ByNames(*runSel)
+	if err != nil {
+		fmt.Fprintln(stderr, "hilint:", err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "hilint: loading packages:", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "hilint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+
+	bad := len(diags) > 0
+	if *escapeGate {
+		findings, err := escape.Audit(".")
+		if err != nil {
+			fmt.Fprintln(stderr, "hilint: escape gate:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		bad = bad || len(findings) > 0
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

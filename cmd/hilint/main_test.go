@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the acceptance gate in miniature: the full
+// analyzer suite over the whole tree reports nothing. CI runs the same
+// thing as `go run ./cmd/hilint ./...`.
+func TestRepoIsClean(t *testing.T) {
+	t.Chdir("../..")
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("hilint ./... = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean run printed diagnostics:\n%s", out.String())
+	}
+}
+
+// TestList prints every registered analyzer plus the escape gate.
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("hilint -list = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	for _, name := range []string{"steppoint", "hookpoint", "hiboundary", "sleepwait", "escape"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzerFailsLoud pins the loud failure: a typo in -run is
+// a usage error naming the known analyzers, not a silent no-op pass.
+func TestUnknownAnalyzerFailsLoud(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "stepoint", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("hilint -run stepoint = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "stepoint") || !strings.Contains(errOut.String(), "steppoint") {
+		t.Errorf("error should name the unknown analyzer and the known ones:\n%s", errOut.String())
+	}
+}
+
+// TestSelectedAnalyzer runs a single analyzer by name.
+func TestSelectedAnalyzer(t *testing.T) {
+	t.Chdir("../..")
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "sleepwait", "./internal/hihash"}, &out, &errOut); code != 0 {
+		t.Fatalf("hilint -run sleepwait = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestEscapeGateFromMain exercises the -escape path end to end (it
+// shells out to go build; the result is cached by the build cache).
+func TestEscapeGateFromMain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-escape shells out to the compiler")
+	}
+	t.Chdir("../..")
+	var out, errOut strings.Builder
+	if code := run([]string{"-escape", "-run", "hiboundary", "./internal/hihash"}, &out, &errOut); code != 0 {
+		t.Fatalf("hilint -escape = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}

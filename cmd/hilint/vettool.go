@@ -1,0 +1,102 @@
+package main
+
+// The go vet -vettool protocol, without x/tools' unitchecker: cmd/go
+// probes the tool once with -V=full (the output line becomes part of
+// vet's cache key), then invokes it once per package with a single
+// argument, the path to a JSON config file describing the compilation
+// unit. The tool must write its facts file (we have no facts — an empty
+// file) and report findings on stderr with a non-zero exit.
+//
+//	go build -o /tmp/hilint ./cmd/hilint
+//	go vet -vettool=/tmp/hilint ./...
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hiconc/internal/hilint"
+	"hiconc/internal/hilint/analysis"
+)
+
+// vetConfig is the subset of cmd/go's vet config this driver needs.
+type vetConfig struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// vettool handles the two -vettool invocation shapes; ok is false when
+// args is a normal command line for the flag-based driver.
+func vettool(args []string, stdout, stderr io.Writer) (code int, ok bool) {
+	if len(args) == 1 && args[0] == "-V=full" {
+		// Any stable single line works; vet hashes it as the tool ID.
+		fmt.Fprintln(stdout, "hilint version 1")
+		return 0, true
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// vet asks which analyzer flags the tool supports; none — the
+		// suite always runs whole.
+		fmt.Fprintln(stdout, "[]")
+		return 0, true
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		return 0, false
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "hilint: vet config:", err)
+		return 2, true
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(stderr, "hilint: vet config:", err)
+		return 2, true
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "hilint: vet facts:", err)
+			return 2, true
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, true
+	}
+
+	fset := token.NewFileSet()
+	pkg := &analysis.Package{Dir: cfg.Dir}
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(stderr, "hilint:", err)
+			return 2, true
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		pkg.Files = append(pkg.Files, &analysis.File{
+			Path: filepath.ToSlash(path),
+			AST:  f,
+			Test: strings.HasSuffix(path, "_test.go"),
+		})
+	}
+	diags, err := analysis.RunAnalyzers(fset, []*analysis.Package{pkg}, hilint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(stderr, "hilint:", err)
+		return 2, true
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1, true
+	}
+	return 0, true
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolHandshake pins the -V=full probe cmd/go uses to identify
+// the tool.
+func TestVettoolHandshake(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-V=full"}, &out, &errOut); code != 0 {
+		t.Fatalf("-V=full = %d, want 0", code)
+	}
+	if !strings.HasPrefix(out.String(), "hilint version") {
+		t.Errorf("handshake output %q should start with 'hilint version'", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &errOut); code != 0 {
+		t.Fatalf("-flags = %d, want 0", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("-flags output %q should be an empty JSON list", out.String())
+	}
+}
+
+// TestVettoolUnit drives the per-package config protocol against the
+// sleepwait fixture: the facts file is written, the fixture's bare
+// Sleep is reported on stderr, and the exit code signals findings.
+func TestVettoolUnit(t *testing.T) {
+	dir := t.TempDir()
+	src, err := filepath.Abs("../../internal/hilint/sleepwait/testdata/src/cmd/demo/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "demo.vetx")
+	cfg, err := json.Marshal(map[string]any{
+		"Dir":        filepath.Dir(src),
+		"ImportPath": "demo",
+		"GoFiles":    []string{src},
+		"VetxOutput": vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{cfgPath}, &out, &errOut); code != 1 {
+		t.Fatalf("vettool unit = %d, want 1 (findings)\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "bare time.Sleep") {
+		t.Errorf("stderr should carry the sleepwait finding:\n%s", errOut.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+// TestVettoolVetxOnly pins the facts-only invocation: write the facts
+// file, report nothing.
+func TestVettoolVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg, err := json.Marshal(map[string]any{
+		"ImportPath": "p",
+		"VetxOnly":   true,
+		"VetxOutput": vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{cfgPath}, &out, &errOut); code != 0 {
+		t.Fatalf("vetx-only unit = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}

@@ -85,6 +85,13 @@
 //   - internal/trace — paper-figure-style execution rendering (simulated
 //     schedules and native flight recordings), plus the live
 //     protocol-metrics table behind hibench -watch;
+//   - internal/hilint — the static-invariant suite: project-specific
+//     analyzers (steppoint labeling, the hook.Point load idiom, the
+//     write-free read path and unsafe perimeter, the sleep-wait ban)
+//     over a minimal dependency-free go/analysis-style framework, plus
+//     the escape-audit gate that proves the declared lookup hot paths
+//     compile with zero heap escapes; cmd/hilint runs it all and CI
+//     gates on it;
 //   - cmd/hiverify, cmd/histarve, cmd/hibench, cmd/hitrace — the
 //     experiment drivers (see EXPERIMENTS.md).
 //

@@ -7,7 +7,11 @@ package hihash
 // dedicated gate (TestLookupAllocs) so a future change cannot put
 // allocations back on the hot path silently.
 
-import "testing"
+import (
+	"testing"
+
+	"hiconc/internal/hilint/escape"
+)
 
 // TestLookupAllocs pins every lookup surface at zero allocations per
 // operation, at quiescence, over states that include displaced keys
@@ -79,4 +83,27 @@ func TestLookupAllocs(t *testing.T) {
 			t.Fatalf("Map.Get allocates %.1f per run, want 0", avg)
 		}
 	})
+}
+
+// TestLookupAllocsMatchesEscapeGate ties this guard to the static
+// escape-audit gate (internal/hilint/escape): every entry point the
+// runs above measure must be on the gate's declared hot-path list, so
+// the dynamic zero-alloc check and the compiler-proof static check
+// cannot drift apart — a function measured here but dropped from the
+// gate would lose its per-commit escape proof silently.
+func TestLookupAllocsMatchesEscapeGate(t *testing.T) {
+	declared := map[string]bool{}
+	for _, fn := range escape.HotFuncs("./internal/hihash") {
+		declared[fn] = true
+	}
+	if len(declared) == 0 {
+		t.Fatal("escape gate declares no hot paths for ./internal/hihash")
+	}
+	// The surfaces TestLookupAllocs drives, spelled the way the gate
+	// spells them.
+	for _, fn := range []string{"Set.Contains", "Set.displaceContains", "Map.Get"} {
+		if !declared[fn] {
+			t.Errorf("alloc guard measures %s but the escape gate does not declare it (internal/hilint/escape.HotPaths)", fn)
+		}
+	}
 }

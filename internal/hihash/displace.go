@@ -463,6 +463,10 @@ func (s *Set) unmark(st *tableState, m, g int) {
 		if i < 0 || slotAt(w, i)&slotMark == 0 {
 			return
 		}
+		// Cancellation restores the exact pre-mark word, so a crash here
+		// is indistinguishable from one before SpMarkSet fired — no new
+		// window for the E23 matrix to cover.
+		//hilint:allow steppoint (cancel CAS restores the pre-SpMarkSet word; no new crash window)
 		if st.groups[g].CompareAndSwap(w, wordReplace(w, uint64(m)|slotMark, uint64(m))) {
 			return
 		}
@@ -488,7 +492,10 @@ func (s *Set) relocateOut(st *tableState, m, j int) wstatus {
 		if rs != wsDone {
 			if rs == wsFull {
 				// No destination (table momentarily full): cancel by
-				// restoring the mark.
+				// restoring the mark. Like unmark, this rewinds to the
+				// exact pre-SpMarkSet word, so crashing here opens no
+				// window the matrix does not already sweep.
+				//hilint:allow steppoint (cancel CAS restores the pre-SpMarkSet word; no new crash window)
 				if st.groups[j].CompareAndSwap(w, wordReplace(w, uint64(m)|slotMark, uint64(m))) {
 					return wsDone
 				}

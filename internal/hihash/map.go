@@ -200,6 +200,12 @@ func (m *Map) add(key, delta int) int {
 		} else {
 			bucketPool.Put(nb)
 		}
+		// The whole update is this one CAS of a complete canonical
+		// bucket — the Map analogue of SpBoundedUpdate, with no
+		// intermediate window to label; Map crash exposure is covered by
+		// the E23 raw-dump twin checks rather than the Set's steppoint
+		// matrix.
+		//hilint:allow steppoint (single-CAS canonical bucket replace: no intermediate window; covered by E23 map twins)
 		if st.buckets[b].CompareAndSwap(old, repl) {
 			histats.Inc(histats.CtrMapUpdate)
 			histats.Observe(histats.HistBucketLen, uint64(len(out)))
@@ -257,6 +263,10 @@ func (m *Map) grow(st *mapState) {
 			if p != nil {
 				kvs = p.kvs
 			}
+			// Freezing republishes the same canonical kvs with the
+			// frozen bit set: the reachable representation is unchanged,
+			// so there is no crash window distinct from pre-freeze.
+			//hilint:allow steppoint (freeze republishes identical kvs; representation unchanged, covered by E23 map twins)
 			if cur.buckets[b].CompareAndSwap(p, &bucket{kvs: kvs, frozen: true}) {
 				break
 			}
@@ -264,6 +274,9 @@ func (m *Map) grow(st *mapState) {
 	}
 	next := &mapState{buckets: make([]atomic.Pointer[bucket], 2*len(cur.buckets))}
 	for b := range next.buckets {
+		// next is private until the m.st CAS below publishes it; a
+		// pre-publication Store is not a shared-memory transition.
+		//hilint:allow steppoint (pre-publication initialization of a private array)
 		next.buckets[b].Store(uninit)
 	}
 	next.left.Store(int64(len(next.buckets)))
@@ -336,6 +349,11 @@ func (m *Map) initFrom(next, old *mapState, b int) {
 	if len(kvs) > 0 {
 		repl = &bucket{kvs: kvs}
 	}
+	// Copy-initialization is idempotent (every helper computes the same
+	// canonical kvs from the frozen old array, and only the first CAS
+	// lands): a crash mid-copy leaves uninit, which the next reader or
+	// helper resolves identically — covered by the E23 map twin checks.
+	//hilint:allow steppoint (idempotent copy-init from frozen buckets; covered by E23 map twins)
 	if next.buckets[b].CompareAndSwap(uninit, repl) {
 		next.left.Add(-1)
 	}

@@ -1,0 +1,180 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface, just large enough to host
+// the project's own analyzers (internal/hilint/...). The build
+// environment bakes in no third-party modules, so the real x/tools
+// driver cannot be imported; keeping the Analyzer/Pass/Diagnostic shape
+// identical means swapping this package for the real one later is a
+// mechanical import rewrite.
+//
+// The deliberate difference from x/tools: passes carry parsed syntax and
+// per-file import tables only, no go/types information. Every analyzer
+// in the suite is syntactic — the protocol idioms they enforce (atomic
+// writes to group words, hook.Point loads, time.Sleep in tests) are
+// recognizable from the AST plus the import table, and staying
+// types-free keeps the whole suite runnable on any tree that parses,
+// including the bug-shaped testdata fixtures whose imports do not
+// resolve.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer describes one named check, mirroring x/tools analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// File is one parsed source file of a package.
+type File struct {
+	Path string // slash-separated path as given to the loader
+	AST  *ast.File
+	Test bool // *_test.go
+}
+
+// Package is one directory's worth of parsed files (test files
+// included — analyzers filter by File.Test as needed).
+type Package struct {
+	Dir   string // directory the files came from
+	Name  string // package name of the first file
+	Files []*File
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string // analyzer name
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass carries one analyzer's view of one package, mirroring
+// x/tools analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// allowRe matches the suite's suppression annotation:
+//
+//	//hilint:allow <analyzer> (reason)
+//
+// The reason is mandatory — an exemption without an argument is itself a
+// finding, so every suppressed site records why the idiom does not
+// apply.
+var allowRe = regexp.MustCompile(`hilint:allow\s+([a-z]+)\s*(.*)`)
+
+// Reportf records a diagnostic at pos unless an //hilint:allow
+// annotation for this analyzer covers pos's line (same line or the line
+// directly above). An annotation with an empty reason suppresses
+// nothing and is reported instead.
+func (p *Pass) Reportf(f *File, pos token.Pos, format string, args ...any) {
+	where := p.Fset.Position(pos)
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil || m[1] != p.Analyzer.Name {
+				continue
+			}
+			cline := p.Fset.Position(c.End()).Line
+			if cline != where.Line && cline != where.Line-1 {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(m[2]), "*/"))
+			if reason == "" {
+				p.diags = append(p.diags, Diagnostic{
+					Pos:     where,
+					Check:   p.Analyzer.Name,
+					Message: "hilint:allow annotation without a reason — state why the idiom does not apply",
+				})
+				return
+			}
+			return // consciously exempted
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     where,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ImportName returns the local name under which f imports path, and
+// whether it imports it at all. A dot import returns ".".
+func ImportName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// Inspect walks root in depth-first order calling fn with each node and
+// the stack of its ancestors (outermost first, not including n itself).
+// Returning false skips n's children.
+func Inspect(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Still push: ast.Inspect will pop via the nil callback only
+			// if we returned true. Skip children by returning false and
+			// not pushing.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// RunAnalyzers applies each analyzer to each package and returns all
+// diagnostics, sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Dir, err)
+			}
+			all = append(all, pass.diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return all, nil
+}

@@ -1,0 +1,38 @@
+// Package broken is the escape gate's deliberately-broken fixture: the
+// probe record's slice field aliases its own backing array — the exact
+// shape that silently moved PR 9's lookup record to the heap — so the
+// gate must report a moved-to-heap finding inside lookupRecord.
+package broken
+
+type record struct {
+	buf   [32]uint64
+	lanes []uint64
+}
+
+func (r *record) push(v uint64) {
+	r.lanes = append(r.lanes, v)
+}
+
+func lookupRecord(key uint64) int {
+	r := record{}
+	r.lanes = r.buf[:0]
+	for i := range r.buf {
+		if r.buf[i] == key {
+			r.push(r.buf[i])
+		}
+	}
+	return len(r.lanes)
+}
+
+// cleanLookup keeps the record escape-free: the gate must stay silent
+// about functions that are not declared hot, and about clean ones.
+func cleanLookup(key uint64) int {
+	var buf [32]uint64
+	n := 0
+	for i := range buf {
+		if buf[i] == key {
+			n++
+		}
+	}
+	return n
+}

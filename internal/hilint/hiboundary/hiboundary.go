@@ -1,0 +1,177 @@
+// Package hiboundary polices the read path and the unsafe perimeter of
+// the HI table (internal/hihash; DESIGN.md, "The read path").
+//
+// Declared read-path functions — the E26 lookup surface — must stay
+// write-free: no atomic mutator (CompareAndSwap/Store/Swap/Add) on
+// anything, and every call must name an allowlisted callee (the pure
+// word/SWAR classifiers, the metrics layer, the other read-path
+// functions). A reader that quietly grows a helping write would drag
+// reads inside the HI boundary and break the raw-dump twin checks, the
+// escape-analysis contract, or both. containsSlow, the deliberate
+// helping fallback, is exactly the exception: it is NOT in the declared
+// read-path set and its writes are covered by the update paths' checks.
+//
+// Separately, across the whole tree: importing "unsafe" is permitted
+// only in the declared raw-dump/observer files (allowlist.go). The raw
+// group-array reads of the E23 differ are confined there; a new unsafe
+// import anywhere else fails the build, subsuming the reviewer half of
+// the `go vet -unsafeptr` step.
+package hiboundary
+
+import (
+	"go/ast"
+	"strings"
+
+	"hiconc/internal/hilint/analysis"
+)
+
+// Analyzer is the hiboundary check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hiboundary",
+	Doc:  "read-path functions must not write table state or call outside the allowlist; unsafe imports are confined to the declared raw-dump files",
+	Run:  run,
+}
+
+// atomicMutators write shared state; a read-path function may Load and
+// nothing else.
+var atomicMutators = map[string]bool{
+	"CompareAndSwap": true,
+	"Store":          true,
+	"Swap":           true,
+	"Add":            true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		checkUnsafeImport(pass, f)
+	}
+	if pass.Pkg.Name != "hihash" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := funcName(fn)
+			if !ReadPathFuncs[name] {
+				continue
+			}
+			checkReadPath(pass, f, fn, name)
+		}
+	}
+	return nil
+}
+
+// checkUnsafeImport reports an unsafe import outside the declared files.
+func checkUnsafeImport(pass *analysis.Pass, f *analysis.File) {
+	for _, imp := range f.AST.Imports {
+		if imp.Path.Value != `"unsafe"` {
+			continue
+		}
+		allowed := false
+		for _, suffix := range UnsafeFiles {
+			if strings.HasSuffix(f.Path, suffix) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			pass.Reportf(f, imp.Pos(),
+				"unsafe imported outside the declared raw-dump files: add %s to hiboundary's UnsafeFiles allowlist (with a reason) or keep raw memory access in the dump/observer layers", f.Path)
+		}
+	}
+}
+
+// funcName renders a FuncDecl as the allowlist spells it: "Recv.Name"
+// for methods (pointer receivers included), bare "Name" otherwise.
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// checkReadPath enforces the write-free contract inside one declared
+// read-path function.
+func checkReadPath(pass *analysis.Pass, f *analysis.File, fn *ast.FuncDecl, name string) {
+	analysis.Inspect(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, isMethod := calleeName(call)
+		if isMethod && atomicMutators[callee] {
+			pass.Reportf(f, call.Pos(),
+				"read-path function %s writes table state (%s): lookups must stay outside the HI boundary — route writes through the update paths or the helping fallback", name, callee)
+			return true
+		}
+		if isMethod {
+			if !AllowedMethods[callee] && !readPathMethod(callee) {
+				pass.Reportf(f, call.Pos(),
+					"read-path function %s calls method %s, which is not on the read-path allowlist (hiboundary/allowlist.go)", name, callee)
+			}
+			return true
+		}
+		if !AllowedCallees[callee] && !ReadPathFuncs[callee] {
+			pass.Reportf(f, call.Pos(),
+				"read-path function %s calls %s, which is not on the read-path allowlist (hiboundary/allowlist.go)", name, callee)
+		}
+		return true
+	})
+}
+
+// readPathMethod reports whether a bare method name is itself a declared
+// read-path method (s.displaceContains from Set.Contains, say) — calls
+// between read-path functions are always allowed.
+func readPathMethod(callee string) bool {
+	for name := range ReadPathFuncs {
+		if i := strings.IndexByte(name, '.'); i >= 0 && name[i+1:] == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName extracts a printable callee from a call expression:
+// ("pkg.Fn", false) for qualified calls, ("Fn", false) for plain calls
+// and conversions, (method, true) for method calls (anything selected
+// from a non-package expression — receiver identity is not resolvable
+// without types, the method name is what the allowlist keys on).
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, false
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			// Package-qualified or receiver-qualified: without types the
+			// distinction is the allowlist's job — try the qualified name
+			// first, fall back to treating it as a method.
+			qualified := id.Name + "." + fun.Sel.Name
+			if AllowedCallees[qualified] || ReadPathFuncs[qualified] {
+				return qualified, false
+			}
+			// Methods on a local receiver ident (s.checkKey, st.prev):
+			// key on the bare method name.
+			return fun.Sel.Name, true
+		}
+		return fun.Sel.Name, true
+	case *ast.ArrayType, *ast.MapType, *ast.FuncType:
+		return "conversion", false
+	case *ast.ParenExpr:
+		inner := &ast.CallExpr{Fun: fun.X, Args: call.Args}
+		return calleeName(inner)
+	}
+	return "unknown-callee", false
+}

@@ -1,0 +1,23 @@
+package hiboundary_test
+
+import (
+	"testing"
+
+	"hiconc/internal/hilint/hiboundary"
+	"hiconc/internal/hilint/linttest"
+)
+
+// TestReadPath pins the write-free contract: a clean lookup stays
+// silent; a Store, a CompareAndSwap, an off-allowlist function call and
+// an off-allowlist method call inside declared read-path functions are
+// reported; a non-read-path function may write freely.
+func TestReadPath(t *testing.T) {
+	linttest.Run(t, "testdata/src/hihash", hiboundary.Analyzer)
+}
+
+// TestUnsafeConfinement pins the unsafe perimeter: an unsafe import on
+// a path outside UnsafeFiles is reported, and the annotation escape
+// hatch (with a reason) suppresses it.
+func TestUnsafeConfinement(t *testing.T) {
+	linttest.Run(t, "testdata/src/rawdump", hiboundary.Analyzer)
+}

@@ -1,0 +1,5 @@
+package rawdump
+
+import u "unsafe" //hilint:allow hiboundary (fixture demonstrating the reviewed escape hatch)
+
+func sizeOf(x uint64) uintptr { return u.Sizeof(x) }

@@ -1,0 +1,9 @@
+// Package rawdump is a fixture for hiboundary's unsafe confinement:
+// this path is not in the UnsafeFiles allowlist, so a bare unsafe
+// import is reported, and an annotated one demonstrates the reviewed
+// escape hatch.
+package rawdump
+
+import "unsafe" // want `unsafe imported outside the declared raw-dump files`
+
+func addrOf(p *uint64) uintptr { return uintptr(unsafe.Pointer(p)) }

@@ -1,0 +1,56 @@
+// Package hilint is the registry of the project's static-invariant
+// analyzers (DESIGN.md, "Static invariants"): each one machine-enforces
+// a convention the HI guarantees rest on but the compiler cannot see.
+// cmd/hilint drives them; each analyzer package documents and tests the
+// idiom it pins.
+package hilint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hiconc/internal/hilint/analysis"
+	"hiconc/internal/hilint/hiboundary"
+	"hiconc/internal/hilint/hookpoint"
+	"hiconc/internal/hilint/sleepwait"
+	"hiconc/internal/hilint/steppoint"
+)
+
+// Analyzers returns the full suite, in name order.
+func Analyzers() []*analysis.Analyzer {
+	all := []*analysis.Analyzer{
+		hiboundary.Analyzer,
+		hookpoint.Analyzer,
+		sleepwait.Analyzer,
+		steppoint.Analyzer,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// ByNames resolves a comma-separated selection ("all" or a subset).
+// Unknown names fail loudly with the known set, so a typo in a CI
+// invocation cannot silently skip a check.
+func ByNames(sel string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if sel == "" || sel == "all" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	var known []string
+	for _, a := range all {
+		byName[a.Name] = a
+		known = append(known, a.Name)
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s, or \"all\")", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

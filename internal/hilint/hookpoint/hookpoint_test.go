@@ -1,0 +1,16 @@
+package hookpoint_test
+
+import (
+	"testing"
+
+	"hiconc/internal/hilint/hookpoint"
+	"hiconc/internal/hilint/linttest"
+)
+
+// TestHookpoint pins the analyzer against the bug-shaped fixture: the
+// canonical, split, accessor, nil-comparison and function-literal load
+// shapes stay silent; a load in a loop, a double load, and an unchecked
+// use are reported.
+func TestHookpoint(t *testing.T) {
+	linttest.Run(t, "testdata/src/hookfix", hookpoint.Analyzer)
+}

@@ -1,0 +1,93 @@
+// Package linttest is the suite's miniature analysistest: it runs one
+// analyzer over a testdata package and checks its diagnostics against
+// "// want" expectations in the fixture source, so every enforced idiom
+// ships with a positive case (clean code stays silent) and a bug-shaped
+// negative case (the rotted pattern is reported) that pin the analyzer's
+// behavior.
+//
+// Expectation syntax, as in x/tools analysistest:
+//
+//	badCall() // want `regexp`
+//
+// Each want comment demands at least one diagnostic on its line whose
+// message matches the (backquoted or double-quoted) regexp; diagnostics
+// on lines without a want comment fail the test, as do unmatched wants.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"testing"
+
+	"hiconc/internal/hilint/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want (?:`([^`]*)`|\"([^\"]*)\")")
+
+// Run loads the package in dir and applies a, comparing diagnostics to
+// the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, []string{dir})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	// Collect want expectations: file -> line -> regexp (unmatched yet).
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+		line    int
+		file    string
+	}
+	var wants []*want
+	for _, f := range pkgs[0].Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", f.Path, expr, err)
+				}
+				wants = append(wants, &want{
+					re:   re,
+					line: fset.Position(c.Pos()).Line,
+					file: f.Path,
+				})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

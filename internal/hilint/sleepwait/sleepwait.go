@@ -1,0 +1,56 @@
+// Package sleepwait bans bare time.Sleep as a synchronization
+// primitive in tests, examples and the cmd binaries: sleeping "long
+// enough" is how flaky schedules hide, and the tree has real
+// alternatives — cross-goroutine ordering is a channel or WaitGroup,
+// livelock protection is the within watchdog helper
+// (internal/hihash/whitebox_test.go). A Sleep that is genuinely part of
+// a workload (pacing a demo loop, not awaiting a goroutine) can say so:
+//
+//	//hilint:allow sleepwait (reason)
+//
+// PR 6's manual sweep covered internal/ only; this analyzer covers
+// every test file plus everything under examples/ and cmd/, and runs on
+// every commit.
+package sleepwait
+
+import (
+	"go/ast"
+	"strings"
+
+	"hiconc/internal/hilint/analysis"
+)
+
+// Analyzer is the sleepwait check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sleepwait",
+	Doc:  "no bare time.Sleep as a synchronization primitive in tests, examples/ or cmd/ — use channels, WaitGroups or the watchdog helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		if !f.Test && !strings.Contains(f.Path, "examples/") && !strings.Contains(f.Path, "cmd/") {
+			continue
+		}
+		timeName, ok := analysis.ImportName(f.AST, "time")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+				pass.Reportf(f, call.Pos(),
+					"bare time.Sleep: synchronize with a channel/WaitGroup or a watchdog (hihash within-style helper), or annotate //hilint:allow sleepwait (reason)")
+			}
+			return true
+		})
+	}
+	return nil
+}

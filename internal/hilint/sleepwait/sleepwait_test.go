@@ -1,0 +1,21 @@
+package sleepwait_test
+
+import (
+	"testing"
+
+	"hiconc/internal/hilint/linttest"
+	"hiconc/internal/hilint/sleepwait"
+)
+
+// TestTestFiles pins the test-file scope: bare Sleeps (including under
+// a renamed time import) are reported, the pacing annotation is
+// honored, and non-test library files in the same package are ignored.
+func TestTestFiles(t *testing.T) {
+	linttest.Run(t, "testdata/src/sleepy", sleepwait.Analyzer)
+}
+
+// TestCmdFiles pins the cmd/ path scope: a non-test main package under
+// a cmd/ path is checked.
+func TestCmdFiles(t *testing.T) {
+	linttest.Run(t, "testdata/src/cmd/demo", sleepwait.Analyzer)
+}

@@ -1,0 +1,9 @@
+// Command demo is a fixture: files under cmd/ are in sleepwait's scope
+// even outside tests — the smoke-tested binaries must not sleep-wait.
+package main
+
+import "time"
+
+func main() {
+	time.Sleep(time.Second) // want `bare time.Sleep`
+}

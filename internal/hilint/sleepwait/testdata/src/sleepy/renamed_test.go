@@ -1,0 +1,11 @@
+package sleepy
+
+import (
+	"testing"
+	clock "time"
+)
+
+// A renamed time import does not hide the Sleep.
+func TestRenamedImport(t *testing.T) {
+	clock.Sleep(clock.Millisecond) // want `bare time.Sleep`
+}

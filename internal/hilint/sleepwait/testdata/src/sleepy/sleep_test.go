@@ -1,0 +1,19 @@
+// Package sleepy is a fixture for the sleepwait analyzer: test files
+// are in scope, bare Sleeps are reported, annotated pacing is not.
+package sleepy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAsSync(t *testing.T) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	time.Sleep(10 * time.Millisecond) // want `bare time.Sleep`
+	<-done
+}
+
+func TestPacedWorkload(t *testing.T) {
+	time.Sleep(time.Millisecond) //hilint:allow sleepwait (pacing a workload, not awaiting a goroutine)
+}

@@ -1,0 +1,7 @@
+package sleepy
+
+import "time"
+
+// Non-test files outside examples/ and cmd/ are out of the analyzer's
+// scope: a library sleeping is its caller's contract, not a test flake.
+func pause() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,23 @@
+package steppoint_test
+
+import (
+	"testing"
+
+	"hiconc/internal/hilint/linttest"
+	"hiconc/internal/hilint/steppoint"
+)
+
+// TestSteppoint pins the analyzer against the bug-shaped fixture: the
+// labeled direct, negated and in-case CAS shapes stay silent, unlabeled
+// writes (including through a word alias) are reported, and an
+// //hilint:allow without a reason is itself a finding.
+func TestSteppoint(t *testing.T) {
+	linttest.Run(t, "testdata/src/hihash", steppoint.Analyzer)
+}
+
+// TestSteppointScopedToHihash pins the package scoping: histats'
+// histogram shards have a field named "buckets" whose atomics are not
+// protocol steps — the analyzer must stay silent outside package hihash.
+func TestSteppointScopedToHihash(t *testing.T) {
+	linttest.Run(t, "testdata/src/histats", steppoint.Analyzer)
+}
